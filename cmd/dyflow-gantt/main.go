@@ -1,0 +1,32 @@
+// Command dyflow-gantt renders a trace JSON written by `dyflow -trace` as
+// an ASCII Gantt chart:
+//
+//	dyflow-gantt -trace trace.json [-width 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyflow"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace JSON file (required)")
+		width     = flag.Int("width", 100, "chart width")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "dyflow-gantt: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	dump, err := dyflow.LoadTraceDump(*tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyflow-gantt:", err)
+		os.Exit(1)
+	}
+	dump.Gantt(os.Stdout, *width)
+}

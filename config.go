@@ -1,0 +1,161 @@
+package dyflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dyflow/internal/task"
+	"dyflow/internal/wms"
+)
+
+// SystemConfig is the JSON description of a simulated deployment for the
+// dyflow command-line tool: machine, allocation, workflow composition,
+// user scripts, and failure injections. Orchestration policy lives in the
+// separate XML document.
+type SystemConfig struct {
+	// Machine is "summit" or "deepthought2" (alias "dt2").
+	Machine string `json:"machine"`
+	// Nodes is the job allocation size.
+	Nodes int `json:"nodes"`
+	// Seed fixes the run (default 1).
+	Seed int64 `json:"seed"`
+
+	Workflows []WorkflowConfig `json:"workflows"`
+	Scripts   []ScriptConfig   `json:"scripts,omitempty"`
+	Failures  []FailureConfig  `json:"failures,omitempty"`
+}
+
+// WorkflowConfig composes one workflow.
+type WorkflowConfig struct {
+	ID    string           `json:"id"`
+	Tasks []TaskConfigJSON `json:"tasks"`
+}
+
+// TaskConfigJSON composes one task. Durations are in seconds.
+type TaskConfigJSON struct {
+	Name            string  `json:"name"`
+	Procs           int     `json:"procs"`
+	ProcsPerNode    int     `json:"procsPerNode,omitempty"`
+	CoresPerProc    int     `json:"coresPerProc,omitempty"`
+	AutoStart       bool    `json:"autoStart"`
+	StartScript     string  `json:"startScript,omitempty"`
+	SerialSec       float64 `json:"serialSec,omitempty"`
+	WorkSec         float64 `json:"workSec,omitempty"`
+	Noise           float64 `json:"noise,omitempty"`
+	TotalSteps      int     `json:"totalSteps,omitempty"`
+	ConsumesFrom    string  `json:"consumesFrom,omitempty"`
+	ConsumeBuf      int     `json:"consumeBuf,omitempty"`
+	ProducesTo      string  `json:"producesTo,omitempty"`
+	ProduceEvery    int     `json:"produceEvery,omitempty"`
+	OutputEvery     int     `json:"outputEvery,omitempty"`
+	OutputPattern   string  `json:"outputPattern,omitempty"`
+	CheckpointEvery int     `json:"checkpointEvery,omitempty"`
+	CheckpointKey   string  `json:"checkpointKey,omitempty"`
+	Resume          bool    `json:"resume,omitempty"`
+	ProgressKey     string  `json:"progressKey,omitempty"`
+	StartupSec      float64 `json:"startupSec,omitempty"`
+	Profile         bool    `json:"profile,omitempty"`
+}
+
+// ScriptConfig declares a user script's runtime cost.
+type ScriptConfig struct {
+	Name    string  `json:"name"`
+	CostSec float64 `json:"costSec"`
+}
+
+// FailureConfig schedules a node failure.
+type FailureConfig struct {
+	AtSec float64 `json:"atSec"`
+	Node  string  `json:"node"`
+}
+
+// LoadSystemConfig reads a SystemConfig from a JSON file.
+func LoadSystemConfig(path string) (*SystemConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg SystemConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("dyflow: parse %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// Build constructs the System described by the config: cluster, composed
+// workflows, registered scripts, and scheduled failures. Orchestration is
+// started separately with StartOrchestration.
+func (cfg *SystemConfig) Build() (*System, error) {
+	var m Machine
+	switch cfg.Machine {
+	case "summit", "Summit", "":
+		m = Summit
+	case "deepthought2", "Deepthought2", "dt2":
+		m = Deepthought2
+	default:
+		return nil, fmt.Errorf("dyflow: unknown machine %q", cfg.Machine)
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("dyflow: nodes must be positive")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sys, err := NewSystem(seed, m, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	for _, wf := range cfg.Workflows {
+		spec := &wms.WorkflowSpec{ID: wf.ID}
+		for _, tc := range wf.Tasks {
+			spec.Tasks = append(spec.Tasks, wms.TaskConfig{
+				Spec: task.Spec{
+					Name:                 tc.Name,
+					Workflow:             wf.ID,
+					Cost:                 task.Cost{Serial: sec(tc.SerialSec), Work: sec(tc.WorkSec), Noise: tc.Noise},
+					TotalSteps:           tc.TotalSteps,
+					ConsumesFrom:         tc.ConsumesFrom,
+					ConsumeBuf:           tc.ConsumeBuf,
+					ProducesTo:           tc.ProducesTo,
+					ProduceEvery:         tc.ProduceEvery,
+					OutputEvery:          tc.OutputEvery,
+					OutputPattern:        tc.OutputPattern,
+					CheckpointEvery:      tc.CheckpointEvery,
+					CheckpointKey:        tc.CheckpointKey,
+					ResumeFromCheckpoint: tc.Resume,
+					ProgressKey:          tc.ProgressKey,
+					StartupDelay:         sec(tc.StartupSec),
+					Profile:              tc.Profile,
+				},
+				Procs:        tc.Procs,
+				ProcsPerNode: tc.ProcsPerNode,
+				CoresPerProc: tc.CoresPerProc,
+				AutoStart:    tc.AutoStart,
+				StartScript:  tc.StartScript,
+			})
+		}
+		if err := sys.Compose(spec); err != nil {
+			return nil, err
+		}
+	}
+	for _, sc := range cfg.Scripts {
+		sys.RegisterScript(sc.Name, sec(sc.CostSec))
+	}
+	for _, f := range cfg.Failures {
+		sys.FailNodeAt(sec(f.AtSec), f.Node)
+	}
+	return sys, nil
+}
+
+// WorkflowIDs lists the composed workflow IDs in order.
+func (cfg *SystemConfig) WorkflowIDs() []string {
+	out := make([]string, 0, len(cfg.Workflows))
+	for _, wf := range cfg.Workflows {
+		out = append(out, wf.ID)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module dyflow
+
+go 1.22

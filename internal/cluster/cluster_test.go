@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+func TestPresets(t *testing.T) {
+	s := sim.New(1)
+	summit := Summit(s, 10)
+	if summit.Size() != 10 {
+		t.Fatalf("Summit size = %d", summit.Size())
+	}
+	n := summit.Node("node000")
+	if n.Cores != 42 || n.ThreadsPerCore != 4 || n.MemGB != 512 || n.GPUs != 6 {
+		t.Fatalf("Summit node = %+v", n)
+	}
+	dt2 := Deepthought2(s, 5)
+	n2 := dt2.Node("node004")
+	if n2.Cores != 20 || n2.ThreadsPerCore != 2 || n2.MemGB != 128 || n2.GPUs != 0 {
+		t.Fatalf("Deepthought2 node = %+v", n2)
+	}
+	if dt2.TotalCores() != 100 {
+		t.Fatalf("TotalCores = %d, want 100", dt2.TotalCores())
+	}
+}
+
+func TestDeterministicNodeOrder(t *testing.T) {
+	s := sim.New(1)
+	c := Summit(s, 4)
+	nodes := c.Nodes()
+	for i, n := range nodes {
+		want := NodeID([]string{"node000", "node001", "node002", "node003"}[i])
+		if n.ID != want {
+			t.Fatalf("nodes[%d] = %s, want %s", i, n.ID, want)
+		}
+	}
+}
+
+func TestFailRestoreNotifies(t *testing.T) {
+	s := sim.New(1)
+	c := Deepthought2(s, 3)
+	var events []string
+	c.OnHealthChange(func(n *Node, healthy bool) {
+		state := "up"
+		if !healthy {
+			state = "down"
+		}
+		events = append(events, string(n.ID)+":"+state)
+	})
+	c.FailNode("node001")
+	c.FailNode("node001") // idempotent
+	if c.TotalCores() != 40 {
+		t.Fatalf("TotalCores after failure = %d, want 40", c.TotalCores())
+	}
+	if len(c.HealthyNodes()) != 2 {
+		t.Fatalf("healthy = %d, want 2", len(c.HealthyNodes()))
+	}
+	c.RestoreNode("node001")
+	if len(events) != 2 || events[0] != "node001:down" || events[1] != "node001:up" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestFailNodeAt(t *testing.T) {
+	s := sim.New(1)
+	c := Deepthought2(s, 2)
+	c.FailNodeAt(10*time.Minute, "node000")
+	s.Run(5 * time.Minute)
+	if !c.Node("node000").Healthy() {
+		t.Fatal("node failed before its scheduled time")
+	}
+	s.Run(11 * time.Minute)
+	if c.Node("node000").Healthy() {
+		t.Fatal("node did not fail at its scheduled time")
+	}
+}
+
+func TestFailUnknownNode(t *testing.T) {
+	s := sim.New(1)
+	c := Deepthought2(s, 1)
+	c.FailNode("nope") // must not panic
+	c.RestoreNode("nope")
+	if c.Size() != 1 {
+		t.Fatal("size changed")
+	}
+}

@@ -1,0 +1,133 @@
+// Package actuate implements DYFLOW's Actuation stage (paper §2.4): the
+// low-level operations invoked by Arbitration's final plan, executed
+// through a plugin into the static workflow service that talks to the
+// cluster. Having Actuation be a plugin keeps the DYFLOW model portable
+// across cluster architectures; the production plugin here drives the
+// Cheetah/Savanna stand-in (internal/wms).
+package actuate
+
+import (
+	"fmt"
+
+	"dyflow/internal/core/arbiter"
+	"dyflow/internal/resmgr"
+	"dyflow/internal/sim"
+	"dyflow/internal/wms"
+)
+
+// Plugin is the low-level operation surface Actuation needs from the
+// underlying workflow service: start_task_with_resources, stop_task, and
+// get_resource_status. request/release_resources are exposed on the
+// concrete plugin for completeness.
+type Plugin interface {
+	// StartTaskWithResources resolves a concrete healthy placement of the
+	// requested shape and launches the task, running its user script
+	// first. Blocks the calling process for the script duration.
+	StartTaskWithResources(p *sim.Proc, workflow, task string, procs, perNode int, script string) error
+	// StopTask signals the task and waits for it to terminate and release
+	// its resources. Graceful stops wait for the current timestep.
+	StopTask(p *sim.Proc, workflow, task string, graceful bool) error
+	// ResourceStatus reports allocation health (get_resource_status).
+	ResourceStatus() resmgr.Status
+}
+
+// SavannaPlugin adapts the Savanna runtime to the Plugin interface.
+type SavannaPlugin struct {
+	SV *wms.Savanna
+}
+
+// StartTaskWithResources carves a healthy placement and launches the task.
+// procs/perNode are processes; the carve converts them to cores using the
+// task's per-process footprint.
+func (sp *SavannaPlugin) StartTaskWithResources(p *sim.Proc, workflow, taskName string, procs, perNode int, script string) error {
+	cpp := sp.SV.CoresPerProc(workflow, taskName)
+	rs, err := sp.SV.Manager().Carve(procs*cpp, perNode*cpp, nil)
+	if err != nil {
+		return fmt.Errorf("actuate: start %s/%s: %w", workflow, taskName, err)
+	}
+	return sp.SV.StartTask(p, workflow, taskName, rs, script)
+}
+
+// StopTask stops the task and waits for termination.
+func (sp *SavannaPlugin) StopTask(p *sim.Proc, workflow, taskName string, graceful bool) error {
+	return sp.SV.StopTask(p, workflow, taskName, graceful)
+}
+
+// ResourceStatus reports the current allocation status.
+func (sp *SavannaPlugin) ResourceStatus() resmgr.Status { return sp.SV.ResourceStatus() }
+
+// OpRecord times one executed low-level operation; the stop/start split is
+// what shows ~97% of response time being graceful-termination wait (§4.6).
+type OpRecord struct {
+	Op        arbiter.Op
+	StartedAt sim.Time
+	EndedAt   sim.Time
+	Err       string
+}
+
+// Duration returns the operation's execution time.
+func (r OpRecord) Duration() sim.Time { return r.EndedAt - r.StartedAt }
+
+// Executor applies plans through a plugin, sequentially and in order — the
+// ordering produced by Arbitration guarantees operations that release
+// resources precede those that acquire them.
+type Executor struct {
+	plugin  Plugin
+	records []OpRecord
+	onOp    func(OpRecord)
+}
+
+// NewExecutor creates an Executor over the plugin.
+func NewExecutor(plugin Plugin) *Executor { return &Executor{plugin: plugin} }
+
+// OnOp registers an observer invoked after each executed operation.
+func (ex *Executor) OnOp(fn func(OpRecord)) { ex.onOp = fn }
+
+// Records returns all executed operations.
+func (ex *Executor) Records() []OpRecord { return ex.records }
+
+// Execute applies the plan's operations in order, blocking the calling
+// process. The first failing operation aborts the remainder.
+func (ex *Executor) Execute(p *sim.Proc, plan arbiter.Plan) error {
+	for _, op := range plan.Ops {
+		rec := OpRecord{Op: op, StartedAt: p.Now()}
+		var err error
+		switch op.Kind {
+		case arbiter.OpStop:
+			err = ex.plugin.StopTask(p, op.Workflow, op.Task, op.Graceful)
+		case arbiter.OpStart:
+			err = ex.plugin.StartTaskWithResources(p, op.Workflow, op.Task, op.Procs, op.PerNode, op.Script)
+		default:
+			err = fmt.Errorf("actuate: unknown op kind %v", op.Kind)
+		}
+		rec.EndedAt = p.Now()
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		ex.records = append(ex.records, rec)
+		if ex.onOp != nil {
+			ex.onOp(rec)
+		}
+		if err != nil {
+			return fmt.Errorf("actuate: %s %s/%s: %w", op.Kind, op.Workflow, op.Task, err)
+		}
+	}
+	return nil
+}
+
+// StopShare computes the fraction of total execution time spent in stop
+// operations (graceful-termination waits) across all records.
+func (ex *Executor) StopShare() float64 {
+	var stop, total sim.Time
+	for _, r := range ex.records {
+		d := r.Duration()
+		total += d
+		if r.Op.Kind == arbiter.OpStop {
+			stop += d
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stop) / float64(total)
+}

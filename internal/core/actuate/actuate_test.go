@@ -1,0 +1,141 @@
+package actuate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dyflow/internal/cluster"
+	"dyflow/internal/core/arbiter"
+	"dyflow/internal/fsim"
+	"dyflow/internal/resmgr"
+	"dyflow/internal/sim"
+	"dyflow/internal/stream"
+	"dyflow/internal/task"
+	"dyflow/internal/wms"
+)
+
+type rig struct {
+	s  *sim.Sim
+	rm *resmgr.Manager
+	sv *wms.Savanna
+	ex *Executor
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	s := sim.New(1)
+	c := cluster.Deepthought2(s, 3)
+	rm := resmgr.New(c)
+	if _, err := rm.Allocate(3); err != nil {
+		t.Fatal(err)
+	}
+	env := &task.Env{Sim: s, FS: fsim.New(s), Streams: stream.NewRegistry(s)}
+	sv := wms.New(env, rm)
+	sv.Compose(&wms.WorkflowSpec{
+		ID: "WF",
+		Tasks: []wms.TaskConfig{
+			{
+				Spec: task.Spec{Name: "A", Workflow: "WF",
+					Cost: task.Cost{Work: 100 * time.Second}, TotalSteps: 1000},
+				Procs: 10, ProcsPerNode: 5, AutoStart: true,
+			},
+			{
+				Spec: task.Spec{Name: "B", Workflow: "WF",
+					Cost: task.Cost{Work: 10 * time.Second}, TotalSteps: 1000},
+				Procs: 10, ProcsPerNode: 5,
+			},
+		},
+	})
+	return &rig{s: s, rm: rm, sv: sv, ex: NewExecutor(&SavannaPlugin{SV: sv})}
+}
+
+func TestExecutePlanInOrder(t *testing.T) {
+	r := newRig(t)
+	var ops []OpRecord
+	r.ex.OnOp(func(rec OpRecord) { ops = append(ops, rec) })
+
+	r.s.Spawn("driver", func(p *sim.Proc) {
+		if err := r.sv.Launch(p, "WF"); err != nil {
+			t.Errorf("launch: %v", err)
+			return
+		}
+		p.Sleep(5 * time.Second)
+		plan := arbiter.Plan{
+			Workflow: "WF",
+			Ops: []arbiter.Op{
+				{Kind: arbiter.OpStop, Workflow: "WF", Task: "A", Graceful: true},
+				{Kind: arbiter.OpStart, Workflow: "WF", Task: "A", Procs: 20, PerNode: 0},
+				{Kind: arbiter.OpStart, Workflow: "WF", Task: "B", Procs: 10, PerNode: 5},
+			},
+		}
+		if err := r.ex.Execute(p, plan); err != nil {
+			t.Errorf("execute: %v", err)
+		}
+	})
+	if err := r.s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(ops))
+	}
+	// The graceful stop took the remainder of A's current step (~5s).
+	if d := ops[0].Duration(); d < 4*time.Second || d > 6*time.Second {
+		t.Fatalf("stop duration = %v, want ~5s drain", d)
+	}
+	// Starts are quick (no scripts).
+	if ops[1].Duration() > time.Second || ops[2].Duration() > time.Second {
+		t.Fatalf("start durations = %v, %v", ops[1].Duration(), ops[2].Duration())
+	}
+	if r.sv.Instance("WF", "A").Placement.Procs() != 20 {
+		t.Fatal("A not resized")
+	}
+	if !r.sv.TaskRunning("WF", "B") {
+		t.Fatal("B not started")
+	}
+	if share := r.ex.StopShare(); share < 0.8 {
+		t.Fatalf("stop share = %v, want graceful stop to dominate", share)
+	}
+}
+
+func TestExecuteAbortsOnInfeasibleStart(t *testing.T) {
+	r := newRig(t)
+	r.s.Spawn("driver", func(p *sim.Proc) {
+		// 60 cores total; asking for 100 must fail and abort the rest.
+		plan := arbiter.Plan{
+			Workflow: "WF",
+			Ops: []arbiter.Op{
+				{Kind: arbiter.OpStart, Workflow: "WF", Task: "A", Procs: 100},
+				{Kind: arbiter.OpStart, Workflow: "WF", Task: "B", Procs: 10},
+			},
+		}
+		err := r.ex.Execute(p, plan)
+		if err == nil {
+			t.Error("expected carve failure")
+		}
+		if !errors.Is(err, resmgr.ErrInsufficient) {
+			t.Errorf("err = %v, want ErrInsufficient", err)
+		}
+	})
+	if err := r.s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.sv.TaskRunning("WF", "B") {
+		t.Fatal("ops after the failing one must not execute")
+	}
+	recs := r.ex.Records()
+	if len(recs) != 1 || recs[0].Err == "" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestResourceStatusPassThrough(t *testing.T) {
+	r := newRig(t)
+	st := r.ex.plugin.ResourceStatus()
+	if len(st.AllocatedNodes) != 3 {
+		t.Fatalf("allocated = %v", st.AllocatedNodes)
+	}
+	if st.FreeCores.Total() != 60 {
+		t.Fatalf("free = %d", st.FreeCores.Total())
+	}
+}

@@ -1,0 +1,57 @@
+package arbiter
+
+import (
+	"fmt"
+	"testing"
+
+	"dyflow/internal/core/decision"
+	"dyflow/internal/core/spec"
+)
+
+// BenchmarkBuildPlan measures Algorithm 1's planning cost on a workflow
+// with many tasks and simultaneous suggestions — the "time spent
+// formulating the plan is low" claim of §4.6.
+func BenchmarkBuildPlan(b *testing.B) {
+	for _, n := range []int{5, 20, 100} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			rules := &spec.WorkflowRules{
+				Workflow:         "W",
+				TaskPriorities:   map[string]int{},
+				PolicyPriorities: map[string]int{},
+			}
+			tasks := make(map[string]TaskState, n)
+			var sgs []decision.Suggestion
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("task%03d", i)
+				rules.TaskPriorities[name] = i
+				tasks[name] = TaskState{Running: true, Procs: 20}
+				if i%2 == 1 {
+					sgs = append(sgs, decision.Suggestion{
+						Workflow: "W", PolicyID: "INC", Action: "ADDCPU",
+						AssessTask: name, ActOnTasks: []string{name},
+						Params: map[string]string{"adjust-by": "10"},
+					})
+				}
+				if i > 0 && i%3 == 0 {
+					rules.Deps = append(rules.Deps, spec.TaskDep{
+						Task: name, Parent: fmt.Sprintf("task%03d", i-1), Type: spec.DepTight,
+					})
+				}
+			}
+			in := PlanInput{
+				Workflow:    "W",
+				Suggestions: sgs,
+				Tasks:       tasks,
+				FreeCores:   n * 5,
+				Rules:       rules,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, _ := BuildPlan(in)
+				if plan.Empty() {
+					b.Fatal("plan unexpectedly empty")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,302 @@
+package arbiter
+
+import (
+	"time"
+
+	"dyflow/internal/core/decision"
+	"dyflow/internal/core/spec"
+	"dyflow/internal/msg"
+	"dyflow/internal/sim"
+)
+
+// View is the arbiter's window onto the live workflow state, implemented by
+// the orchestrator over the WMS and resource manager.
+type View interface {
+	// Snapshot returns the current TaskState of every composed task of the
+	// workflow plus the free healthy core count.
+	Snapshot(workflow string) (map[string]TaskState, int)
+}
+
+// Executor applies a finalized plan; implemented by the Actuation stage.
+// Execute blocks the calling process until every operation has been applied
+// (including graceful-termination waits) or an operation fails.
+type Executor interface {
+	Execute(p *sim.Proc, plan Plan) error
+}
+
+// Record documents one arbitration round for the experiment harness.
+type Record struct {
+	Workflow string
+	// ReceivedAt is when the suggestion batch arrived; PlannedAt when the
+	// plan was finalized; ExecutedAt when Actuation finished applying it.
+	ReceivedAt sim.Time
+	PlannedAt  sim.Time
+	ExecutedAt sim.Time
+	// EventAt is the earliest data-generation time among the triggering
+	// suggestions; ReceivedAt - EventAt is the detection lag and
+	// ExecutedAt - ReceivedAt the arbitration+actuation response time.
+	EventAt sim.Time
+	Plan    Plan
+	Err     string
+}
+
+// ResponseTime is the arbitration-to-actuation-complete duration (the
+// paper's "time to finalize the plan and wait for Actuation").
+func (r Record) ResponseTime() time.Duration { return r.ExecutedAt - r.ReceivedAt }
+
+// Config tunes the engine's guards.
+type Config struct {
+	// WarmupDelay discards all suggestions for this long after Start, so
+	// every task makes initial progress (paper §4.4: 2 minutes).
+	WarmupDelay time.Duration
+	// SettleDelay discards suggestions for this long after a successfully
+	// applied plan, letting the workflow state settle (paper §4.4: 2
+	// minutes).
+	SettleDelay time.Duration
+	// PlanCost models the protocol's own computation time (small; the
+	// paper reports the planning share of the response as low).
+	PlanCost time.Duration
+	// GatherWindow is how long the engine keeps collecting further
+	// suggestions after the first one passes the guards, so that policies
+	// firing for different tasks within the same evaluation period are
+	// arbitrated together (e.g. all four Gray-Scott analyses suggest
+	// ADDCPU within one frequency period and the plan must weigh them
+	// jointly). It aligns with the policy frequency and — like the
+	// frequency delay — is excluded from the reported response time.
+	GatherWindow time.Duration
+	// NoVictims disables preemption (ablation).
+	NoVictims bool
+	// ImmediateKill disables graceful termination (ablation).
+	ImmediateKill bool
+}
+
+// DefaultConfig returns the paper's guard settings.
+func DefaultConfig() Config {
+	return Config{
+		WarmupDelay:  2 * time.Minute,
+		SettleDelay:  2 * time.Minute,
+		PlanCost:     100 * time.Millisecond,
+		GatherWindow: 5 * time.Second,
+	}
+}
+
+// Engine is the Arbitration stage runtime.
+type Engine struct {
+	s    *sim.Sim
+	ep   *msg.Endpoint
+	cfg  Config
+	view View
+	exec Executor
+
+	rules map[string]*spec.WorkflowRules
+	// waiting is T_waiting, tracked per workflow.
+	waiting map[string][]WaitingTask
+
+	startedAt   sim.Time
+	settleUntil sim.Time
+	started     bool
+
+	records   []Record
+	discarded int
+	onPlan    func(Record)
+	proc      *sim.Proc
+}
+
+// New creates the Arbitration engine reading suggestion batches from its
+// endpoint.
+func New(s *sim.Sim, bus *msg.Bus, name string, cfg Config, rules map[string]*spec.WorkflowRules, view View, exec Executor) *Engine {
+	if rules == nil {
+		rules = map[string]*spec.WorkflowRules{}
+	}
+	return &Engine{
+		s:       s,
+		ep:      bus.Endpoint(name),
+		cfg:     cfg,
+		view:    view,
+		exec:    exec,
+		rules:   rules,
+		waiting: make(map[string][]WaitingTask),
+	}
+}
+
+// OnPlan registers an observer for completed arbitration rounds.
+func (e *Engine) OnPlan(fn func(Record)) { e.onPlan = fn }
+
+// Records returns all arbitration rounds so far.
+func (e *Engine) Records() []Record { return e.records }
+
+// Discarded returns the number of suggestion batches dropped by the
+// warm-up/settle guards.
+func (e *Engine) Discarded() int { return e.discarded }
+
+// Waiting returns the current T_waiting queue for a workflow.
+func (e *Engine) Waiting(workflow string) []WaitingTask { return e.waiting[workflow] }
+
+// EnqueueWaiting seeds T_waiting (e.g. a task composed to wait for
+// resources initially).
+func (e *Engine) EnqueueWaiting(w WaitingTask) {
+	e.waiting[w.Workflow] = append(e.waiting[w.Workflow], w)
+}
+
+// Start spawns the engine process.
+func (e *Engine) Start() {
+	e.startedAt = e.s.Now()
+	e.started = true
+	e.proc = e.s.Spawn("arbiter", e.run)
+}
+
+// Stop interrupts the engine process.
+func (e *Engine) Stop() {
+	if e.proc != nil {
+		e.proc.Interrupt(nil)
+	}
+}
+
+func (e *Engine) run(p *sim.Proc) {
+	for {
+		env, err := e.ep.Recv(p)
+		if err != nil {
+			return
+		}
+		var batch []decision.Suggestion
+		if err := env.Decode(&batch); err != nil || len(batch) == 0 {
+			continue
+		}
+		now := e.s.Now()
+		// Warm-up and settle guards.
+		if now-e.startedAt < e.cfg.WarmupDelay || now < e.settleUntil {
+			e.discarded++
+			continue
+		}
+		batch = e.gather(p, batch)
+		e.arbitrate(p, batch)
+	}
+}
+
+// gather collects further suggestion batches for the configured window, so
+// same-period policy responses are arbitrated jointly.
+func (e *Engine) gather(p *sim.Proc, batch []decision.Suggestion) []decision.Suggestion {
+	if e.cfg.GatherWindow <= 0 {
+		return batch
+	}
+	deadline := e.s.Now() + e.cfg.GatherWindow
+	for {
+		remaining := deadline - e.s.Now()
+		if remaining <= 0 {
+			return batch
+		}
+		step := 500 * time.Millisecond
+		if remaining < step {
+			step = remaining
+		}
+		if err := p.Sleep(step); err != nil {
+			return batch
+		}
+		for {
+			env, ok := e.ep.TryRecv()
+			if !ok {
+				break
+			}
+			var more []decision.Suggestion
+			if err := env.Decode(&more); err == nil {
+				batch = append(batch, more...)
+			}
+		}
+	}
+}
+
+// Arbitrate runs one round synchronously for the given suggestions; used by
+// the engine loop and directly by tests.
+func (e *Engine) Arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
+	return e.arbitrate(p, batch)
+}
+
+func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
+	received := e.s.Now()
+	var out []Record
+
+	// Group suggestions by workflow; each workflow plans independently.
+	byWF := map[string][]decision.Suggestion{}
+	var order []string
+	for _, sg := range batch {
+		if _, seen := byWF[sg.Workflow]; !seen {
+			order = append(order, sg.Workflow)
+		}
+		byWF[sg.Workflow] = append(byWF[sg.Workflow], sg)
+	}
+
+	for _, wf := range order {
+		sgs := byWF[wf]
+		tasks, free := e.view.Snapshot(wf)
+		// Screen out stale suggestions: anything decided before the
+		// assessed task's current incarnation launched describes a state
+		// that no longer exists (the in-flight analogue of Decision's
+		// post-restart metric screening).
+		fresh := sgs[:0]
+		for _, sg := range sgs {
+			if st, ok := tasks[sg.AssessTask]; ok && st.StartedAt > 0 && sim.Time(sg.DecidedAt) < st.StartedAt {
+				continue
+			}
+			fresh = append(fresh, sg)
+		}
+		sgs = fresh
+		if len(sgs) == 0 {
+			continue
+		}
+		in := PlanInput{
+			Workflow:      wf,
+			Suggestions:   sgs,
+			Tasks:         tasks,
+			FreeCores:     free,
+			Rules:         e.rules[wf],
+			Waiting:       e.waiting[wf],
+			NoVictims:     e.cfg.NoVictims,
+			ImmediateKill: e.cfg.ImmediateKill,
+		}
+		plan, stillWaiting := BuildPlan(in)
+
+		rec := Record{
+			Workflow:   wf,
+			ReceivedAt: received,
+			EventAt:    earliestEvent(sgs),
+		}
+		if plan.Empty() {
+			continue // nothing feasible or nothing to do: no settle window
+		}
+		// Protocol computation cost.
+		if e.cfg.PlanCost > 0 {
+			if err := p.SleepUninterruptible(e.cfg.PlanCost); err != nil {
+				return out
+			}
+		}
+		rec.PlannedAt = e.s.Now()
+		e.waiting[wf] = stillWaiting
+
+		err := e.exec.Execute(p, plan)
+		rec.ExecutedAt = e.s.Now()
+		rec.Plan = plan
+		if err != nil {
+			rec.Err = err.Error()
+		} else if e.cfg.SettleDelay > 0 {
+			// Let the workflow settle before considering new suggestions.
+			e.settleUntil = e.s.Now() + e.cfg.SettleDelay
+		}
+		e.records = append(e.records, rec)
+		if e.onPlan != nil {
+			e.onPlan(rec)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func earliestEvent(sgs []decision.Suggestion) sim.Time {
+	var min sim.Time
+	for i, sg := range sgs {
+		t := sim.Time(sg.GeneratedAt)
+		if i == 0 || t < min {
+			min = t
+		}
+	}
+	return min
+}

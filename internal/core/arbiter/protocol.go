@@ -1,0 +1,638 @@
+// Package arbiter implements DYFLOW's Arbitration stage (paper §2.3 and
+// Algorithm 1): it screens the high-level actions suggested by Decision,
+// resolves conflicts with policy priorities, pulls in dependent actions via
+// task inter-dependencies, maps everything to low-level operations, makes
+// the plan feasible against available resources by preempting low-priority
+// victims or discarding the least significant operations, gives waiting
+// tasks a chance to start when resources free up, and finally orders the
+// operations so that releases precede acquisitions.
+//
+// BuildPlan is a pure function over a PlanInput snapshot so the protocol's
+// branches are directly testable; Engine (engine.go) wraps it with the
+// runtime state collection, warm-up/settle guards, and execution handoff.
+package arbiter
+
+import (
+	"fmt"
+	"sort"
+
+	"dyflow/internal/core/decision"
+	"dyflow/internal/core/spec"
+	"dyflow/internal/sim"
+)
+
+// OpKind is a low-level operation type.
+type OpKind int
+
+const (
+	// OpStop terminates a running task (stop_task).
+	OpStop OpKind = iota
+	// OpStart launches a task with a resource shape
+	// (start_task_with_resources).
+	OpStart
+)
+
+// String returns a short name.
+func (k OpKind) String() string {
+	if k == OpStop {
+		return "stop"
+	}
+	return "start"
+}
+
+// Op is one low-level operation in a plan.
+type Op struct {
+	Kind     OpKind
+	Workflow string
+	Task     string
+	// Graceful lets a stopped task finish its current timestep (SIGTERM).
+	Graceful bool
+	// Procs/PerNode shape an OpStart; the concrete node placement is
+	// resolved at execution time against then-current healthy resources.
+	Procs   int
+	PerNode int
+	// Script names a user script to run before an OpStart.
+	Script string
+	// Policy records which policy motivated the operation ("" for derived
+	// dependent operations and victim preemptions).
+	Policy string
+	// Victim marks a preemption stop inserted to free resources.
+	Victim bool
+	// Dependent marks an operation added through task inter-dependencies.
+	Dependent bool
+}
+
+func (o Op) String() string {
+	s := fmt.Sprintf("%s(%s", o.Kind, o.Task)
+	if o.Kind == OpStart {
+		s += fmt.Sprintf(", %d procs", o.Procs)
+	}
+	if o.Victim {
+		s += ", victim"
+	}
+	if o.Dependent {
+		s += ", dep"
+	}
+	return s + ")"
+}
+
+// Plan is an ordered, feasible set of low-level operations.
+type Plan struct {
+	Workflow string
+	Ops      []Op
+	// Trigger records the suggestions that produced the plan.
+	Trigger []decision.Suggestion
+	// Denied lists suggested actions discarded for infeasibility.
+	Denied []string
+}
+
+// Empty reports whether the plan contains no operations.
+func (p Plan) Empty() bool { return len(p.Ops) == 0 }
+
+// TaskState is the arbiter's snapshot of one composed task.
+type TaskState struct {
+	// Running reports a live incarnation.
+	Running bool
+	// Procs is the current process count when running, or the most recent
+	// (or configured) count otherwise — the size a RESTART brings back.
+	Procs int
+	// PerNode is the placement shape.
+	PerNode int
+	// CoresPerProc is the per-process core footprint (0 means 1); the
+	// protocol's resource accounting is in cores = procs * CoresPerProc.
+	CoresPerProc int
+	// Script is the configured start script ("" for none).
+	Script string
+	// StartedAt is when the current/last incarnation launched (zero if
+	// never); suggestions decided before it are stale and screened out.
+	StartedAt sim.Time
+}
+
+// cpp returns the normalized per-process core footprint.
+func (st TaskState) cpp() int {
+	if st.CoresPerProc <= 0 {
+		return 1
+	}
+	return st.CoresPerProc
+}
+
+// WaitingTask is an entry of T_waiting: a task displaced (or denied) that
+// should start once resources allow.
+type WaitingTask struct {
+	Workflow     string
+	Task         string
+	Procs        int
+	PerNode      int
+	CoresPerProc int
+	Script       string
+}
+
+// PlanInput is the snapshot Algorithm 1 runs against.
+type PlanInput struct {
+	Workflow    string
+	Suggestions []decision.Suggestion
+	// Tasks maps every composed task of the workflow to its state.
+	Tasks map[string]TaskState
+	// FreeCores is the healthy unassigned capacity (Count(R_free)).
+	FreeCores int
+	// Rules supplies task/policy priorities and dependencies (may be nil).
+	Rules *spec.WorkflowRules
+	// Waiting is the current T_waiting queue.
+	Waiting []WaitingTask
+	// NoVictims disables preemption (ablation): infeasible acquiring
+	// operations are denied instead of displacing low-priority tasks.
+	NoVictims bool
+	// ImmediateKill stops tasks without the graceful drain (ablation of
+	// the §4.4 note that response times shrink when tasks are not allowed
+	// to terminate gracefully — at the cost of losing in-flight steps).
+	ImmediateKill bool
+}
+
+// intent is a per-task resolved high-level action.
+type intent struct {
+	action    spec.Action
+	task      string
+	policy    string
+	policyPri int
+	params    map[string]string
+	dependent bool
+	parent    string // the disrupted task a dependent intent derives from
+}
+
+// BuildPlan runs the arbitration protocol and returns the ordered plan and
+// the updated waiting queue.
+func BuildPlan(in PlanInput) (Plan, []WaitingTask) {
+	plan := Plan{Workflow: in.Workflow, Trigger: in.Suggestions}
+
+	// --- Line 2: resolve conflicts in A_sugg using policy priorities. ---
+	intents := resolveConflicts(in, &plan)
+
+	// --- Line 3: add dependent actions via task dependencies. ---
+	addDependents(in, intents)
+
+	// --- Lines 4-5: map to low-level operations; compute resource needs.
+	type taskOps struct {
+		task     string
+		stop     *Op
+		start    *Op
+		need     int // cores acquired by start
+		freed    int // cores released by stop
+		acquires bool
+		pri      int
+		policy   string
+		parent   string // set for dependency-derived entries
+	}
+	var entries []*taskOps
+	for _, it := range sortedIntents(in, intents) {
+		st := in.Tasks[it.task]
+		e := &taskOps{task: it.task, pri: taskPri(in, it.task), policy: it.policy, parent: it.parent}
+		switch it.action {
+		case spec.ActionAddCPU, spec.ActionRmCPU:
+			if !st.Running {
+				continue // nothing to resize
+			}
+			delta := intParam(it.params, "adjust-by", 20)
+			newProcs := st.Procs + delta
+			if it.action == spec.ActionRmCPU {
+				newProcs = st.Procs - delta
+				if newProcs < 1 {
+					continue // shrinking below one process is nonsensical
+				}
+			}
+			if newProcs == st.Procs {
+				continue
+			}
+			// MPI tasks cannot grow or shrink without restart (paper §3).
+			// Resizes relax the initial per-node shape (PerNode 0): the new
+			// incarnation takes cores wherever the plan released them —
+			// e.g. Isosurface growing 20->40 absorbs PDF_Calc's 2-per-node
+			// cores in Figure 8.
+			e.stop = &Op{Kind: OpStop, Workflow: in.Workflow, Task: it.task, Graceful: true, Policy: it.policy, Dependent: it.dependent}
+			e.start = &Op{Kind: OpStart, Workflow: in.Workflow, Task: it.task, Procs: newProcs, PerNode: 0, Script: scriptFor(it, st), Policy: it.policy, Dependent: it.dependent}
+			e.freed = st.Procs * st.cpp()
+			e.need = newProcs * st.cpp()
+			e.acquires = newProcs > st.Procs
+		case spec.ActionRestart:
+			procs := st.Procs
+			if procs <= 0 {
+				continue
+			}
+			if st.Running {
+				e.stop = &Op{Kind: OpStop, Workflow: in.Workflow, Task: it.task, Graceful: true, Policy: it.policy, Dependent: it.dependent}
+				e.freed = procs * st.cpp()
+			}
+			e.start = &Op{Kind: OpStart, Workflow: in.Workflow, Task: it.task, Procs: procs, PerNode: st.PerNode, Script: scriptFor(it, st), Policy: it.policy, Dependent: it.dependent}
+			e.need = procs * st.cpp()
+			e.acquires = !st.Running
+		case spec.ActionStop:
+			if !st.Running {
+				continue
+			}
+			e.stop = &Op{Kind: OpStop, Workflow: in.Workflow, Task: it.task, Graceful: true, Policy: it.policy, Dependent: it.dependent}
+			e.freed = st.Procs * st.cpp()
+		case spec.ActionStart:
+			if st.Running {
+				continue
+			}
+			procs := intParam(it.params, "procs", st.Procs)
+			if procs <= 0 {
+				continue
+			}
+			e.start = &Op{Kind: OpStart, Workflow: in.Workflow, Task: it.task, Procs: procs, PerNode: st.PerNode, Script: scriptFor(it, st), Policy: it.policy, Dependent: it.dependent}
+			e.need = procs * st.cpp()
+			e.acquires = true
+		default:
+			continue
+		}
+		if e.stop == nil && e.start == nil {
+			continue
+		}
+		entries = append(entries, e)
+	}
+
+	// --- Lines 6-15: make the plan feasible. ---
+	// Deduplicate the incoming waiting queue by task (first entry wins) so
+	// a task can never be started from one entry while another lingers.
+	var waiting []WaitingTask
+	for _, w := range in.Waiting {
+		if !isWaiting(waiting, w.Task) {
+			waiting = append(waiting, w)
+		}
+	}
+	var victimsAdded []*taskOps
+	inPlan := func(task string) bool {
+		for _, e := range entries {
+			if e.task == task {
+				return true
+			}
+		}
+		return false
+	}
+	balance := func() int {
+		need := 0
+		for _, e := range entries {
+			need += e.need - e.freed
+		}
+		return need - in.FreeCores
+	}
+	// bestAcquirerPri is the numerically smallest (most important) priority
+	// among operations that acquire resources; a victim must be strictly
+	// less important, so equal-priority tasks never preempt each other
+	// (e.g. XGC1 is never killed to start XGCa — XGCa waits instead).
+	bestAcquirerPri := func() (int, bool) {
+		best, any := 0, false
+		for _, e := range entries {
+			if e.acquires && (!any || e.pri < best) {
+				best, any = e.pri, true
+			}
+		}
+		return best, any
+	}
+	for balance() > 0 {
+		// Find the lowest-priority running task (plus tight dependents)
+		// that can shed resources.
+		victim := ""
+		victimPri := -1
+		floor, anyAcquirer := bestAcquirerPri()
+		if !in.NoVictims {
+			for _, name := range sortedTaskNames(in.Tasks) {
+				st := in.Tasks[name]
+				if !st.Running || st.Procs <= 0 || inPlan(name) || isWaiting(waiting, name) {
+					continue
+				}
+				p := taskPri(in, name)
+				if anyAcquirer && p <= floor {
+					continue // never preempt an equal-or-higher-priority task
+				}
+				if p > victimPri {
+					victim, victimPri = name, p
+				}
+			}
+		}
+		if victim != "" {
+			group := append([]string{victim}, runningTightDependents(in, victim, inPlan)...)
+			for _, v := range group {
+				st := in.Tasks[v]
+				e := &taskOps{
+					task:  v,
+					stop:  &Op{Kind: OpStop, Workflow: in.Workflow, Task: v, Graceful: true, Victim: true},
+					freed: st.Procs * st.cpp(),
+					pri:   taskPri(in, v),
+				}
+				entries = append(entries, e)
+				victimsAdded = append(victimsAdded, e)
+				waiting = append(waiting, WaitingTask{
+					Workflow: in.Workflow, Task: v,
+					Procs: st.Procs, PerNode: st.PerNode,
+					CoresPerProc: st.cpp(), Script: st.Script,
+				})
+			}
+			continue
+		}
+		// No victim: discard the least significant acquiring operation.
+		dropIdx := -1
+		for i, e := range entries {
+			if !e.acquires {
+				continue
+			}
+			if dropIdx == -1 || e.pri > entries[dropIdx].pri {
+				dropIdx = i
+			}
+		}
+		if dropIdx == -1 {
+			break // nothing acquires; should not happen with balance > 0
+		}
+		dropped := entries[dropIdx].task
+		plan.Denied = append(plan.Denied, fmt.Sprintf("%s (policy %s): insufficient resources", dropped, entries[dropIdx].policy))
+		entries = append(entries[:dropIdx], entries[dropIdx+1:]...)
+		// Dependency-derived entries of the dropped operation are
+		// pointless without it.
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.parent != dropped {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+
+	// Retract victims that became unnecessary: if the acquiring operation
+	// that motivated a preemption was itself dropped, the victim must not
+	// be stopped for nothing. Remove victims (most recent first) while the
+	// plan stays feasible without them.
+	for i := len(victimsAdded) - 1; i >= 0; i-- {
+		v := victimsAdded[i]
+		idx := -1
+		for j, e := range entries {
+			if e == v {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		entries = append(entries[:idx], entries[idx+1:]...)
+		if balance() > 0 {
+			// Still needed: put it back.
+			entries = append(entries, v)
+			continue
+		}
+		// Retracted for good; drop its waiting entry too.
+		for j := len(waiting) - 1; j >= 0; j-- {
+			if waiting[j].Task == v.task {
+				waiting = append(waiting[:j], waiting[j+1:]...)
+				break
+			}
+		}
+	}
+
+	// --- Lines 16-18: start waiting tasks (highest priority first) while
+	// resources remain. Only resources freed BY THE PLAN count ("when
+	// resources are freed by the plan, the waiting list tasks are provided
+	// the opportunity to start"): pre-existing free capacity must not let
+	// a stray empty suggestion resurrect long-displaced tasks.
+	surplus := 0
+	for _, e := range entries {
+		surplus += e.freed - e.need
+	}
+	if surplus < 0 {
+		surplus = 0
+	}
+	sort.SliceStable(waiting, func(i, j int) bool {
+		pi, pj := taskPri(in, waiting[i].Task), taskPri(in, waiting[j].Task)
+		if pi != pj {
+			return pi < pj
+		}
+		return waiting[i].Task < waiting[j].Task
+	})
+	startsInPlan := func(task string) bool {
+		for _, e := range entries {
+			if e.task == task && e.start != nil {
+				return true
+			}
+		}
+		return false
+	}
+	stopsInPlan := func(task string) bool {
+		for _, e := range entries {
+			if e.task == task && e.stop != nil {
+				return true
+			}
+		}
+		return false
+	}
+	var stillWaiting []WaitingTask
+	for _, w := range waiting {
+		if startsInPlan(w.Task) {
+			continue // resolved by the plan itself (e.g. a START suggestion)
+		}
+		if in.Tasks[w.Task].Running && !stopsInPlan(w.Task) {
+			continue // stale entry: the task is back without our help
+		}
+		cpp := w.CoresPerProc
+		if cpp <= 0 {
+			cpp = 1
+		}
+		cores := w.Procs * cpp
+		if cores <= surplus && !inPlan(w.Task) && !in.Tasks[w.Task].Running {
+			entries = append(entries, &taskOps{
+				task:  w.Task,
+				start: &Op{Kind: OpStart, Workflow: in.Workflow, Task: w.Task, Procs: w.Procs, PerNode: w.PerNode, Script: w.Script},
+				need:  cores,
+				pri:   taskPri(in, w.Task),
+			})
+			surplus -= cores
+			continue
+		}
+		stillWaiting = append(stillWaiting, w)
+	}
+
+	// --- Line 19: order operations — releases before acquisitions. ---
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].pri != entries[j].pri {
+			return entries[i].pri < entries[j].pri
+		}
+		return entries[i].task < entries[j].task
+	})
+	for _, e := range entries {
+		if e.stop != nil {
+			plan.Ops = append(plan.Ops, *e.stop)
+		}
+	}
+	for _, e := range entries {
+		if e.start != nil {
+			plan.Ops = append(plan.Ops, *e.start)
+		}
+	}
+	if in.ImmediateKill {
+		for i := range plan.Ops {
+			plan.Ops[i].Graceful = false
+		}
+	}
+	return plan, stillWaiting
+}
+
+// resolveConflicts expands suggestions into per-task intents, resolving
+// STOP-START, STOP-RESTART, and RMCPU-ADDCPU style conflicts with policy
+// priorities (lower value wins; first seen wins ties).
+func resolveConflicts(in PlanInput, plan *Plan) map[string]*intent {
+	intents := make(map[string]*intent)
+	consider := func(it *intent) {
+		cur, ok := intents[it.task]
+		if !ok {
+			intents[it.task] = it
+			return
+		}
+		if cur.action == it.action {
+			return // duplicate suggestion
+		}
+		if it.policyPri < cur.policyPri {
+			plan.Denied = append(plan.Denied, fmt.Sprintf("%s on %s (policy %s): conflicts with higher-priority %s", cur.action, cur.task, cur.policy, it.action))
+			intents[it.task] = it
+		} else {
+			plan.Denied = append(plan.Denied, fmt.Sprintf("%s on %s (policy %s): conflicts with higher-priority %s", it.action, it.task, it.policy, cur.action))
+		}
+	}
+	for _, sg := range in.Suggestions {
+		act, err := sg.ParsedAction()
+		if err != nil {
+			continue
+		}
+		pri := in.Rules.PolicyPriority(sg.PolicyID)
+		if act == spec.ActionSwitch {
+			// SWITCH = stop the assessed task, start the act-on tasks.
+			consider(&intent{action: spec.ActionStop, task: sg.AssessTask, policy: sg.PolicyID, policyPri: pri, params: sg.Params})
+			for _, t := range sg.ActOnTasks {
+				consider(&intent{action: spec.ActionStart, task: t, policy: sg.PolicyID, policyPri: pri, params: sg.Params})
+			}
+			continue
+		}
+		for _, t := range sg.ActOnTasks {
+			consider(&intent{action: act, task: t, policy: sg.PolicyID, policyPri: pri, params: sg.Params})
+		}
+	}
+	return intents
+}
+
+// addDependents pulls in tightly coupled dependents of disrupted tasks:
+// resizes and restarts restart the dependents; stops stop them. A
+// dependency-derived action overrides the dependent's own suggested resize
+// — consistency with the parent outranks an opportunistic ADDCPU/RMCPU, so
+// Rendering is restarted at its current size when Isosurface resizes
+// (Figure 8), even while Rendering's own INC_ON_PACE fired too.
+func addDependents(in PlanInput, intents map[string]*intent) {
+	queue := make([]string, 0, len(intents))
+	for t := range intents {
+		queue = append(queue, t)
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		it := intents[t]
+		var depAction spec.Action
+		switch it.action {
+		case spec.ActionAddCPU, spec.ActionRmCPU, spec.ActionRestart:
+			depAction = spec.ActionRestart
+		case spec.ActionStop:
+			depAction = spec.ActionStop
+		default:
+			continue // START does not disrupt running dependents
+		}
+		tight := spec.DepTight
+		for _, dep := range in.Rules.Dependents(t, &tight) {
+			if cur, exists := intents[dep]; exists {
+				// Override resizes with the dependency restart; leave
+				// stops and existing restarts alone.
+				if depAction == spec.ActionRestart && (cur.action == spec.ActionAddCPU || cur.action == spec.ActionRmCPU) {
+					intents[dep] = &intent{
+						action: spec.ActionRestart, task: dep,
+						policy: it.policy, policyPri: it.policyPri,
+						dependent: true, parent: t,
+					}
+				}
+				continue
+			}
+			if !in.Tasks[dep].Running {
+				continue
+			}
+			intents[dep] = &intent{
+				action: depAction, task: dep,
+				policy: it.policy, policyPri: it.policyPri,
+				dependent: true, parent: t,
+			}
+			queue = append(queue, dep)
+		}
+	}
+}
+
+// runningTightDependents returns the running tight dependents of task (in
+// sorted order) that are not already in the plan.
+func runningTightDependents(in PlanInput, taskName string, inPlan func(string) bool) []string {
+	var out []string
+	tight := spec.DepTight
+	for _, dep := range in.Rules.Dependents(taskName, &tight) {
+		if in.Tasks[dep].Running && !inPlan(dep) {
+			out = append(out, dep)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func taskPri(in PlanInput, taskName string) int { return in.Rules.TaskPriority(taskName) }
+
+func sortedIntents(in PlanInput, intents map[string]*intent) []*intent {
+	names := make([]string, 0, len(intents))
+	for t := range intents {
+		names = append(names, t)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := taskPri(in, names[i]), taskPri(in, names[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return names[i] < names[j]
+	})
+	out := make([]*intent, len(names))
+	for i, n := range names {
+		out[i] = intents[n]
+	}
+	return out
+}
+
+func sortedTaskNames(tasks map[string]TaskState) []string {
+	names := make([]string, 0, len(tasks))
+	for t := range tasks {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func isWaiting(waiting []WaitingTask, taskName string) bool {
+	for _, w := range waiting {
+		if w.Task == taskName {
+			return true
+		}
+	}
+	return false
+}
+
+func intParam(params map[string]string, key string, def int) int {
+	if params == nil {
+		return def
+	}
+	b := spec.PolicyBinding{Params: params}
+	return b.IntParam(key, def)
+}
+
+func scriptFor(it *intent, st TaskState) string {
+	if it.params != nil {
+		if s, ok := it.params["restart-script"]; ok {
+			return s
+		}
+	}
+	return st.Script
+}

@@ -1,0 +1,182 @@
+// Package core assembles DYFLOW's four stages — Monitor (sensor), Decision
+// (decision), Arbitration (arbiter), and Actuation (actuate) — into a
+// running orchestration service alongside the workflow management system,
+// mirroring the paper's implementation (Figure 2): a bootstrap that parses
+// the user's XML specification and starts the stage services, connected by
+// JSON messages over shared queues, with Actuation plugged into Savanna.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dyflow/internal/core/actuate"
+	"dyflow/internal/core/arbiter"
+	"dyflow/internal/core/decision"
+	"dyflow/internal/core/sensor"
+	"dyflow/internal/core/spec"
+	"dyflow/internal/msg"
+	"dyflow/internal/task"
+	"dyflow/internal/wms"
+)
+
+// Endpoint names on the orchestration bus.
+const (
+	EndpointMonitorServer = "monitor-server"
+	EndpointDecision      = "decision"
+	EndpointArbiter       = "arbiter"
+)
+
+// Options tunes the orchestrator.
+type Options struct {
+	// MonitorClients is the number of monitor client services the targets
+	// are sharded across (the paper launches clients per scaling needs).
+	// Default 1.
+	MonitorClients int
+	// SensorCosts calibrates sensor acquisition costs; zero fields take
+	// the defaults.
+	SensorCosts sensor.Costs
+	// Arbiter configures warm-up/settle guards and plan cost; a zero value
+	// takes DefaultConfig.
+	Arbiter arbiter.Config
+	// BusLatency, if non-nil, models message transport latency.
+	BusLatency func(from, to string) time.Duration
+}
+
+// Orchestrator is a running DYFLOW service bound to one Savanna runtime.
+type Orchestrator struct {
+	Config   *spec.Config
+	Savanna  *wms.Savanna
+	Bus      *msg.Bus
+	Server   *sensor.Server
+	Clients  []*sensor.Client
+	Decision *decision.Engine
+	Arbiter  *arbiter.Engine
+	Executor *actuate.Executor
+
+	env *task.Env
+}
+
+// New builds (but does not start) an orchestrator for the compiled user
+// specification over the given Savanna runtime.
+func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orchestrator {
+	if opts.MonitorClients <= 0 {
+		opts.MonitorClients = 1
+	}
+	zero := arbiter.Config{}
+	if opts.Arbiter == zero {
+		opts.Arbiter = arbiter.DefaultConfig()
+	}
+	bus := msg.NewBus(env.Sim)
+	bus.Latency = opts.BusLatency
+
+	o := &Orchestrator{
+		Config:  cfg,
+		Savanna: sv,
+		Bus:     bus,
+		env:     env,
+	}
+
+	// Monitor: server plus sharded clients.
+	o.Server = sensor.NewServer(env.Sim, bus, EndpointMonitorServer, EndpointDecision, cfg)
+	workload := &savannaWorkload{sv: sv}
+	for i := 0; i < opts.MonitorClients; i++ {
+		var shard []spec.MonitorTarget
+		for j, tg := range cfg.Targets {
+			if j%opts.MonitorClients == i {
+				shard = append(shard, tg)
+			}
+		}
+		name := fmt.Sprintf("monitor-client-%d", i)
+		o.Clients = append(o.Clients, sensor.NewClient(name, env, bus, EndpointMonitorServer, cfg, shard, workload, opts.SensorCosts))
+	}
+
+	// Decision.
+	o.Decision = decision.New(env.Sim, bus, EndpointDecision, EndpointArbiter, cfg)
+
+	// Actuation: the Savanna plugin.
+	o.Executor = actuate.NewExecutor(&actuate.SavannaPlugin{SV: sv})
+
+	// Arbitration.
+	view := &savannaView{sv: sv}
+	o.Arbiter = arbiter.New(env.Sim, bus, EndpointArbiter, opts.Arbiter, cfg.Rules, view, o.Executor)
+
+	// Keep Decision consistent with runtime changes: a (re)started task's
+	// stale history must not immediately re-trigger policies.
+	sv.OnEvent(func(ev wms.Event) {
+		if ev.Kind == wms.TaskStarted {
+			o.Decision.ResetTask(ev.Workflow, ev.Task)
+		}
+	})
+	return o
+}
+
+// Start launches all stage services (the bootstrap step).
+func (o *Orchestrator) Start() {
+	o.Server.Start()
+	for _, c := range o.Clients {
+		c.Start()
+	}
+	o.Decision.Start()
+	o.Arbiter.Start()
+}
+
+// Stop interrupts all stage services.
+func (o *Orchestrator) Stop() {
+	for _, c := range o.Clients {
+		c.Stop()
+	}
+	o.Server.Stop()
+	o.Decision.Stop()
+	o.Arbiter.Stop()
+}
+
+// savannaWorkload adapts Savanna to the monitor clients' Workload view.
+type savannaWorkload struct{ sv *wms.Savanna }
+
+func (w *savannaWorkload) Placement(workflow, taskName string) task.Placement {
+	in := w.sv.Instance(workflow, taskName)
+	if in == nil {
+		return nil
+	}
+	return in.Placement
+}
+
+func (w *savannaWorkload) TaskRunning(workflow, taskName string) bool {
+	return w.sv.TaskRunning(workflow, taskName)
+}
+
+// savannaView adapts Savanna to the arbiter's View: the snapshot of every
+// composed task plus free healthy cores.
+type savannaView struct{ sv *wms.Savanna }
+
+func (v *savannaView) Snapshot(workflow string) (map[string]arbiter.TaskState, int) {
+	out := make(map[string]arbiter.TaskState)
+	wf := v.sv.Workflow(workflow)
+	if wf == nil {
+		return out, v.sv.Manager().Free().Total()
+	}
+	for _, cfg := range wf.Tasks {
+		name := cfg.Spec.Name
+		st := arbiter.TaskState{
+			Procs:        cfg.Procs,
+			PerNode:      cfg.ProcsPerNode,
+			CoresPerProc: cfg.CoresPerProc,
+			Script:       cfg.StartScript,
+		}
+		if in := v.sv.Instance(workflow, name); in != nil {
+			st.Running = in.Alive()
+			// The last incarnation's size is what a RESTART brings back.
+			st.Procs = in.Placement.Procs()
+			st.StartedAt = in.StartedAt()
+			// A task resized away from its composed shape can no longer
+			// honor the initial per-node packing; restarts place it
+			// wherever healthy cores are free.
+			if st.Procs != cfg.Procs {
+				st.PerNode = 0
+			}
+		}
+		out[name] = st
+	}
+	return out, v.sv.Manager().Free().Total()
+}

@@ -1,0 +1,328 @@
+// Package decision implements DYFLOW's Decision stage (paper §2.2, §3): it
+// screens incoming sensor metrics, maps them to the user's policies,
+// maintains per-policy history windows with pre-analysis, gates evaluation
+// by each policy's frequency, and emits suggested high-level actions to the
+// Arbitration stage as a single JSON message per evaluation round.
+package decision
+
+import (
+	"time"
+
+	"dyflow/internal/core/sensor"
+	"dyflow/internal/core/spec"
+	"dyflow/internal/msg"
+	"dyflow/internal/sim"
+	"dyflow/internal/stats"
+)
+
+// Suggestion is one suggested high-level action (Decision -> Arbitration).
+type Suggestion struct {
+	Workflow   string            `json:"workflow"`
+	PolicyID   string            `json:"policy"`
+	Action     string            `json:"action"`
+	AssessTask string            `json:"assess_task"`
+	ActOnTasks []string          `json:"act_on_tasks"`
+	Params     map[string]string `json:"params,omitempty"`
+	// MetricValue is the (pre-analyzed) value that satisfied the condition.
+	MetricValue float64 `json:"metric_value"`
+	// Step is the source timestep associated with the triggering metric.
+	Step int `json:"step,omitempty"`
+	// GeneratedAt is when the underlying data was produced; DecidedAt is
+	// when the policy fired. Their difference plus transport is the
+	// event-to-response-initiation lag of §4.6.
+	GeneratedAt int64 `json:"generated_at"`
+	DecidedAt   int64 `json:"decided_at"`
+}
+
+// ParsedAction returns the typed action.
+func (s *Suggestion) ParsedAction() (spec.Action, error) { return spec.ParseAction(s.Action) }
+
+// seriesState tracks one metric series feeding a policy binding.
+type seriesState struct {
+	window *stats.Window // nil when the policy has no history
+	last   float64
+	lastAt sim.Time
+	genAt  sim.Time
+	step   int
+	fresh  bool // a value arrived since the last evaluation
+}
+
+// binding is one policy applied to one assess-task.
+type binding struct {
+	def      *spec.PolicyDef
+	bind     spec.PolicyBinding
+	series   map[sensor.Key]*seriesState
+	order    []sensor.Key // deterministic evaluation order
+	lastEval sim.Time
+	// resetAt is the last ResetTask instant; metrics generated before it
+	// describe the previous incarnation and are dropped.
+	resetAt sim.Time
+	fired   int
+}
+
+// matches reports whether the metric belongs to this binding.
+func (b *binding) matches(m sensor.Metric) bool {
+	if m.Key.Workflow != b.bind.Workflow {
+		return false
+	}
+	for _, ref := range b.def.Sensors {
+		if ref.SensorID != m.Key.Sensor || ref.Granularity != m.Key.Granularity {
+			continue
+		}
+		switch m.Key.Granularity {
+		case spec.GranTask, spec.GranNodeTask:
+			if m.Key.Task == b.bind.AssessTask {
+				return true
+			}
+		case spec.GranWorkflow, spec.GranNodeWorkflow:
+			return true
+		}
+	}
+	return false
+}
+
+func (b *binding) ingest(m sensor.Metric) {
+	if b.resetAt > 0 && m.GeneratedAt <= b.resetAt {
+		// In-flight data from before the assessed task's restart: acting
+		// on it would re-trigger the action that caused the restart.
+		return
+	}
+	st, ok := b.series[m.Key]
+	if !ok {
+		st = &seriesState{}
+		if b.def.History != nil {
+			st.window = stats.NewWindow(b.def.History.Window)
+		}
+		b.series[m.Key] = st
+		b.order = append(b.order, m.Key)
+	}
+	if st.window != nil {
+		st.window.Push(m.Value)
+	}
+	st.last = m.Value
+	st.lastAt = m.ObservedAt
+	st.genAt = m.GeneratedAt
+	st.step = m.Step
+	st.fresh = true
+}
+
+// value computes the series' evaluation input: the pre-analyzed history
+// reduction when history is configured, the instantaneous value otherwise.
+func (st *seriesState) value(def *spec.PolicyDef) (float64, bool) {
+	if st.window != nil {
+		return st.window.Reduce(def.History.Op)
+	}
+	return st.last, st.lastAt > 0 || st.fresh
+}
+
+// Engine is the Decision stage runtime. It runs two processes: a receiver
+// that screens and stores incoming metrics, and an evaluator that triggers
+// each policy's condition at its configured frequency ("every policy has a
+// defined frequency to decide when to trigger the evaluation condition")
+// and ships the round's suggestions as a single message to Arbitration.
+type Engine struct {
+	s        *sim.Sim
+	ep       *msg.Endpoint
+	out      string
+	cfg      *spec.Config
+	filter   *msg.OrderFilter
+	bindings []*binding
+	recvProc *sim.Proc
+	evalProc *sim.Proc
+
+	evaluations int
+	suggestions int
+}
+
+// New creates the Decision engine reading metrics from its endpoint and
+// sending suggestion batches to the out endpoint (the Arbitration stage).
+func New(s *sim.Sim, bus *msg.Bus, name, out string, cfg *spec.Config) *Engine {
+	e := &Engine{
+		s:      s,
+		ep:     bus.Endpoint(name),
+		out:    out,
+		cfg:    cfg,
+		filter: msg.NewOrderFilter(),
+	}
+	for _, pb := range cfg.Bindings {
+		def := cfg.Policies[pb.PolicyID]
+		if def == nil {
+			continue
+		}
+		e.bindings = append(e.bindings, &binding{
+			def:    def,
+			bind:   pb,
+			series: make(map[sensor.Key]*seriesState),
+		})
+	}
+	return e
+}
+
+// Evaluations returns the number of policy evaluations performed.
+func (e *Engine) Evaluations() int { return e.evaluations }
+
+// Suggestions returns the number of suggestions emitted.
+func (e *Engine) Suggestions() int { return e.suggestions }
+
+// Start spawns the engine processes.
+func (e *Engine) Start() {
+	e.recvProc = e.s.Spawn("decision-recv", e.run)
+	e.evalProc = e.s.Spawn("decision-eval", e.evalLoop)
+}
+
+// Stop interrupts the engine processes.
+func (e *Engine) Stop() {
+	if e.recvProc != nil {
+		e.recvProc.Interrupt(nil)
+	}
+	if e.evalProc != nil {
+		e.evalProc.Interrupt(nil)
+	}
+}
+
+// ResetTask discards series state for a task that was just (re)started, so
+// pre-restart history does not immediately re-trigger policies. The
+// orchestrator calls this on task-start events.
+func (e *Engine) ResetTask(workflow, taskName string) {
+	for _, b := range e.bindings {
+		if b.bind.Workflow != workflow || b.bind.AssessTask != taskName {
+			continue
+		}
+		b.resetAt = e.s.Now()
+		for _, k := range b.order {
+			if st := b.series[k]; st != nil {
+				if st.window != nil {
+					st.window.Reset()
+				}
+				st.fresh = false
+				st.lastAt = 0
+			}
+		}
+	}
+}
+
+// run is the receiver process: it screens incoming metric batches and
+// stores them on the matching policy bindings.
+func (e *Engine) run(p *sim.Proc) {
+	for {
+		env, err := e.ep.Recv(p)
+		if err != nil {
+			return
+		}
+		if !e.filter.Admit(env) {
+			continue
+		}
+		var msgs []sensor.MetricMsg
+		if err := env.Decode(&msgs); err != nil {
+			continue
+		}
+		for _, w := range msgs {
+			m, err := sensor.FromMsg(w)
+			if err != nil {
+				continue
+			}
+			e.Ingest(m)
+		}
+	}
+}
+
+// evalLoop is the evaluator process: it fires each binding's evaluation at
+// its configured frequency and ships the round's suggestions together.
+func (e *Engine) evalLoop(p *sim.Proc) {
+	tick := e.tickInterval()
+	for {
+		if err := p.Sleep(tick); err != nil {
+			return
+		}
+		round := e.EvaluateDue()
+		if len(round) > 0 {
+			e.suggestions += len(round)
+			e.ep.Send(e.out, round)
+		}
+	}
+}
+
+// tickInterval picks the evaluator's polling period: the smallest policy
+// frequency, capped at one second.
+func (e *Engine) tickInterval() time.Duration {
+	tick := time.Second
+	for _, b := range e.bindings {
+		if b.def.Frequency < tick {
+			tick = b.def.Frequency
+		}
+	}
+	if tick <= 0 {
+		tick = time.Second
+	}
+	return tick
+}
+
+// Ingest stores one metric on every matching binding (no evaluation —
+// updates between evaluations are stored for history or replace the latest
+// value).
+func (e *Engine) Ingest(m sensor.Metric) {
+	for _, b := range e.bindings {
+		if b.matches(m) {
+			b.ingest(m)
+		}
+	}
+}
+
+// EvaluateDue runs the evaluation condition of every binding whose
+// frequency period has elapsed and returns the suggestions of this round.
+func (e *Engine) EvaluateDue() []Suggestion {
+	now := e.s.Now()
+	var out []Suggestion
+	for _, b := range e.bindings {
+		if b.lastEval != 0 && now-b.lastEval < b.def.Frequency {
+			continue
+		}
+		if len(b.order) == 0 {
+			continue // no data yet: nothing to evaluate
+		}
+		b.lastEval = now
+		e.evaluations++
+		if sg, ok := e.evaluate(b, now); ok {
+			out = append(out, sg)
+		}
+	}
+	return out
+}
+
+// evaluate applies the binding's condition over its series (in arrival
+// order); the first satisfied series produces the suggestion.
+func (e *Engine) evaluate(b *binding, now sim.Time) (Suggestion, bool) {
+	for _, k := range b.order {
+		st := b.series[k]
+		v, ok := st.value(b.def)
+		if !ok {
+			continue
+		}
+		if !b.def.Eval.Compare(v, b.def.Threshold) {
+			continue
+		}
+		b.fired++
+		return Suggestion{
+			Workflow:    b.bind.Workflow,
+			PolicyID:    b.def.ID,
+			Action:      b.def.Action.String(),
+			AssessTask:  b.bind.AssessTask,
+			ActOnTasks:  append([]string(nil), b.bind.ActOnTasks...),
+			Params:      b.bind.Params,
+			MetricValue: v,
+			Step:        st.step,
+			GeneratedAt: int64(st.genAt),
+			DecidedAt:   int64(now),
+		}, true
+	}
+	return Suggestion{}, false
+}
+
+// FrequencyOf exposes a policy's effective evaluation period (helper for
+// experiment accounting).
+func (e *Engine) FrequencyOf(policyID string) time.Duration {
+	if def, ok := e.cfg.Policies[policyID]; ok {
+		return def.Frequency
+	}
+	return spec.DefaultFrequency
+}

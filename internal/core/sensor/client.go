@@ -1,0 +1,343 @@
+package sensor
+
+import (
+	"fmt"
+	"time"
+
+	"dyflow/internal/core/spec"
+	"dyflow/internal/msg"
+	"dyflow/internal/sim"
+	"dyflow/internal/stats"
+	"dyflow/internal/stream"
+	"dyflow/internal/task"
+)
+
+// Workload is the client's view of the running workflow, provided by the
+// orchestrator from the WMS: where a task's processes are placed and
+// whether it is currently running. The Monitor server keeps clients
+// consistent with runtime changes through this indirection.
+type Workload interface {
+	// Placement returns the task's current placement (nil if not running).
+	Placement(workflow, taskName string) task.Placement
+	// TaskRunning reports whether the task has a live incarnation.
+	TaskRunning(workflow, taskName string) bool
+}
+
+// Client executes the sensors bound to its share of monitored tasks and
+// ships updates to the Monitor server. One client can run per compute node
+// or a single client can cover the whole workflow; experiments use one by
+// default and scale out in the scaling tests.
+type Client struct {
+	name     string
+	env      *task.Env
+	ep       *msg.Endpoint
+	server   string
+	cfg      *spec.Config
+	targets  []spec.MonitorTarget
+	workload Workload
+	costs    Costs
+	procs    []*sim.Proc
+	sent     int
+}
+
+// NewClient creates a monitor client named name, shipping updates to the
+// server endpoint, executing the given targets.
+func NewClient(name string, env *task.Env, bus *msg.Bus, server string, cfg *spec.Config, targets []spec.MonitorTarget, workload Workload, costs Costs) *Client {
+	return &Client{
+		name:     name,
+		env:      env,
+		ep:       bus.Endpoint(name),
+		server:   server,
+		cfg:      cfg,
+		targets:  targets,
+		workload: workload,
+		costs:    costs.withDefaults(),
+	}
+}
+
+// Sent returns the number of update batches shipped (for tests).
+func (c *Client) Sent() int { return c.sent }
+
+// Start spawns one worker process per (target, sensor-use) binding.
+func (c *Client) Start() {
+	for _, tg := range c.targets {
+		for _, use := range tg.Sensors {
+			def := c.cfg.Sensors[use.SensorID]
+			if def == nil {
+				continue
+			}
+			tg, use, def := tg, use, def
+			pname := fmt.Sprintf("%s/%s.%s.%s", c.name, tg.Workflow, tg.Task, def.ID)
+			var body func(p *sim.Proc)
+			switch def.Source {
+			case spec.SourceTAUADIOS2, spec.SourceADIOS2:
+				body = func(p *sim.Proc) { c.streamWorker(p, tg, use, def) }
+			case spec.SourceDiskScan, spec.SourceFile, spec.SourceErrorStatus, spec.SourceDB:
+				body = func(p *sim.Proc) { c.pollWorker(p, tg, use, def) }
+			default:
+				continue
+			}
+			c.procs = append(c.procs, c.env.Sim.Spawn(pname, body))
+		}
+	}
+}
+
+// Stop interrupts all worker processes.
+func (c *Client) Stop() {
+	for _, p := range c.procs {
+		p.Interrupt(nil)
+	}
+}
+
+// streamName resolves the stream a streamed sensor reads.
+func streamName(tg spec.MonitorTarget, def *spec.SensorDef) string {
+	if tg.InfoSource != "" {
+		return tg.InfoSource
+	}
+	if def.Source == spec.SourceTAUADIOS2 {
+		return task.ProfileStreamName(tg.Task)
+	}
+	return ""
+}
+
+// streamWorker consumes a staging stream, re-attaching across task
+// restarts — the Monitor stage "sets (or resets) connections to input
+// streams ... when the workflow tasks start (or restart)".
+func (c *Client) streamWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) {
+	name := streamName(tg, def)
+	if name == "" {
+		return
+	}
+	for {
+		st := c.env.Streams.Lookup(name)
+		if st == nil || st.Closed() {
+			if err := p.Sleep(c.costs.PollInterval); err != nil {
+				return
+			}
+			continue
+		}
+		r := st.Attach(4, stream.DropOldest)
+		for {
+			rec, err := r.Get(p)
+			if err != nil {
+				break // detached (task ended) or interrupted
+			}
+			// Decoding cost scales with the record's per-rank payload.
+			cost := c.costs.StreamBase + time.Duration(len(rec.Array))*c.costs.StreamPerValue
+			if err := p.Sleep(cost); err != nil {
+				r.Close()
+				return
+			}
+			readings, step, genAt := recordReadings(rec, use)
+			c.ship(tg, def, readings, step, genAt)
+		}
+		r.Close()
+		if p.Done() || p.Err() != nil {
+			return
+		}
+		// Wait before probing for the task's next incarnation.
+		if err := p.Sleep(c.costs.PollInterval); err != nil {
+			return
+		}
+	}
+}
+
+// recordReadings extracts the per-process readings from a staged record.
+func recordReadings(rec stream.Step, use spec.SensorUse) (readings []float64, step int, genAt sim.Time) {
+	if len(rec.Array) > 0 {
+		readings = rec.Array
+	} else if v, ok := rec.Vars[use.Info]; ok {
+		readings = []float64{v}
+	} else if use.Info == "" && len(rec.Vars) == 1 {
+		for _, v := range rec.Vars {
+			readings = []float64{v}
+		}
+	}
+	return readings, rec.Index, rec.Produced
+}
+
+// pollWorker periodically scans disk-based sources.
+func (c *Client) pollWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) {
+	for {
+		if err := p.Sleep(c.costs.PollInterval); err != nil {
+			return
+		}
+		readings, step, genAt, ok := c.pollOnce(tg, use, def)
+		if !ok {
+			continue
+		}
+		// Reading from disk costs real time before the update can ship.
+		if err := p.Sleep(c.costs.DiskRead); err != nil {
+			return
+		}
+		c.ship(tg, def, readings, step, genAt)
+	}
+}
+
+// pollOnce reads the current state of a disk-based source.
+func (c *Client) pollOnce(tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) (readings []float64, step int, genAt sim.Time, ok bool) {
+	info := use.Info
+	switch def.Source {
+	case spec.SourceDiskScan:
+		files := c.env.FS.Glob(tg.InfoSource)
+		for _, f := range files {
+			if v, found := f.Vars[info]; found {
+				readings = append(readings, v)
+				if f.MTime > genAt {
+					genAt = f.MTime
+				}
+				if int(f.Vars["step"]) > step {
+					step = int(f.Vars["step"])
+				}
+			}
+		}
+		return readings, step, genAt, len(readings) > 0
+	case spec.SourceFile:
+		f := c.env.FS.Stat(tg.InfoSource)
+		if f == nil {
+			return nil, 0, 0, false
+		}
+		v, found := f.Vars[info]
+		if !found {
+			return nil, 0, 0, false
+		}
+		return []float64{v}, int(f.Vars["step"]), f.MTime, true
+	case spec.SourceDB:
+		if c.env.DB == nil {
+			return nil, 0, 0, false
+		}
+		key := tg.InfoSource
+		if key == "" {
+			key = use.Info
+		}
+		rec, found := c.env.DB.Latest(key)
+		if !found {
+			return nil, 0, 0, false
+		}
+		return []float64{rec.Value}, rec.Step, rec.At, true
+	case spec.SourceErrorStatus:
+		path := tg.InfoSource
+		if path == "" {
+			path = task.StatusPath(tg.Workflow, tg.Task)
+		}
+		if info == "" {
+			info = "exitcode"
+		}
+		f := c.env.FS.Stat(path)
+		if f == nil {
+			return nil, 0, 0, false
+		}
+		v, found := f.Vars[info]
+		if !found {
+			return nil, 0, 0, false
+		}
+		return []float64{v}, 0, f.MTime, true
+	}
+	return nil, 0, 0, false
+}
+
+// ship formulates the client-side granularities from per-process readings
+// and sends them to the server.
+func (c *Client) ship(tg spec.MonitorTarget, def *spec.SensorDef, readings []float64, step int, genAt sim.Time) {
+	if len(readings) == 0 {
+		return
+	}
+	// Preprocess distills the staged array into a single reading before
+	// metric formulation.
+	if def.Preprocess != nil {
+		if v, ok := stats.Reduce(*def.Preprocess, readings); ok {
+			readings = []float64{v}
+		}
+	}
+	var updates []Update
+	for _, g := range def.Groups {
+		switch g.Granularity {
+		case spec.GranTask, spec.GranWorkflow:
+			// Workflow-level series derive from task-level values on the
+			// server; both need the task reduction here.
+			if g.Granularity == spec.GranWorkflow && def.HasGranularity(spec.GranTask) {
+				continue // the task group below already ships the value
+			}
+			v, ok := stats.Reduce(taskReduction(def), readings)
+			if !ok {
+				continue
+			}
+			updates = append(updates, Update{
+				Workflow: tg.Workflow, Task: tg.Task, Sensor: def.ID,
+				Granularity: spec.GranTask.String(), Value: v, Step: step,
+				GeneratedAt: genAt,
+			})
+		case spec.GranNodeTask, spec.GranNodeWorkflow:
+			pl := c.workload.Placement(tg.Workflow, tg.Task)
+			if pl == nil {
+				continue
+			}
+			for node, vals := range groupByNode(readings, pl) {
+				v, ok := stats.Reduce(g.Reduction, vals)
+				if !ok {
+					continue
+				}
+				updates = append(updates, Update{
+					Workflow: tg.Workflow, Task: tg.Task, Sensor: def.ID,
+					Granularity: spec.GranNodeTask.String(), Node: node,
+					Value: v, Step: step, GeneratedAt: genAt,
+				})
+			}
+		}
+	}
+	updates = dedupUpdates(updates)
+	if len(updates) == 0 {
+		return
+	}
+	c.sent++
+	c.ep.Send(c.server, Batch{Client: c.name, Updates: updates})
+}
+
+// taskReduction picks the reduction op declared for task granularity,
+// falling back to the first group's op.
+func taskReduction(def *spec.SensorDef) stats.Op {
+	for _, g := range def.Groups {
+		if g.Granularity == spec.GranTask {
+			return g.Reduction
+		}
+	}
+	return def.Groups[0].Reduction
+}
+
+// groupByNode splits per-rank readings by hosting node under block
+// placement. A single (preprocessed or file-derived) reading is attributed
+// to every node the task occupies.
+func groupByNode(readings []float64, pl task.Placement) map[string][]float64 {
+	out := make(map[string][]float64)
+	if len(readings) == 1 && pl.Procs() != 1 {
+		for _, node := range pl.Nodes() {
+			out[string(node)] = []float64{readings[0]}
+		}
+		return out
+	}
+	for rank, v := range readings {
+		node := string(pl.RankNode(rank))
+		if node == "" {
+			node = "unplaced"
+		}
+		out[node] = append(out[node], v)
+	}
+	return out
+}
+
+// dedupUpdates collapses duplicate (granularity, node) entries, keeping the
+// last.
+func dedupUpdates(updates []Update) []Update {
+	seen := make(map[string]int, len(updates))
+	var out []Update
+	for _, u := range updates {
+		k := u.Granularity + "|" + u.Node
+		if idx, ok := seen[k]; ok {
+			out[idx] = u
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, u)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package sensor
+
+import (
+	"sort"
+
+	"dyflow/internal/core/spec"
+	"dyflow/internal/msg"
+	"dyflow/internal/sim"
+	"dyflow/internal/stats"
+)
+
+// Server is the Monitor stage's server half. It runs "on the launch node":
+// it receives update batches from the clients, filters out-of-order
+// messages, derives the cross-task granularities (workflow and
+// node-workflow), applies sensor joins, and forwards metric values to the
+// Decision stage endpoint.
+type Server struct {
+	env    *sim.Sim
+	ep     *msg.Endpoint
+	out    string // decision endpoint name
+	cfg    *spec.Config
+	filter *msg.OrderFilter
+
+	last map[Key]Metric // latest value per series
+
+	// lag accounting per sensor (paper §4.6 cost analysis). Lag samples
+	// are taken only when a series' underlying data is fresh (a new
+	// generation time): periodic re-polls of unchanged files measure
+	// nothing.
+	lags    map[string]*stats.Welford
+	lastGen map[Key]sim.Time
+
+	forwarded int
+	dropped   int
+	proc      *sim.Proc
+	onForward func([]Metric)
+}
+
+// NewServer creates the Monitor server reading from its own endpoint and
+// forwarding metric batches to the out endpoint.
+func NewServer(s *sim.Sim, bus *msg.Bus, name, out string, cfg *spec.Config) *Server {
+	return &Server{
+		env:     s,
+		ep:      bus.Endpoint(name),
+		out:     out,
+		cfg:     cfg,
+		filter:  msg.NewOrderFilter(),
+		last:    make(map[Key]Metric),
+		lags:    make(map[string]*stats.Welford),
+		lastGen: make(map[Key]sim.Time),
+	}
+}
+
+// Forwarded returns the number of metrics forwarded to Decision.
+func (sv *Server) Forwarded() int { return sv.forwarded }
+
+// OnForward registers an observer for every metric batch forwarded to the
+// Decision stage (the experiment harness records metric series from here —
+// "as Decision receives them", Figure 9).
+func (sv *Server) OnForward(fn func([]Metric)) { sv.onForward = fn }
+
+// Dropped returns the number of stale batches discarded by the
+// out-of-order filter.
+func (sv *Server) Dropped() int { return sv.dropped }
+
+// Lag returns the accumulated detection-lag statistics for a sensor: the
+// time between data generation and the metric being forwarded to Decision.
+func (sv *Server) Lag(sensorID string) *stats.Welford {
+	if w, ok := sv.lags[sensorID]; ok {
+		return w
+	}
+	return &stats.Welford{}
+}
+
+// Latest returns the most recent metric for a series (ok=false if none).
+func (sv *Server) Latest(k Key) (Metric, bool) {
+	m, ok := sv.last[k]
+	return m, ok
+}
+
+// Start spawns the server process.
+func (sv *Server) Start() {
+	sv.proc = sv.env.Spawn("monitor-server", sv.run)
+}
+
+// Stop interrupts the server process.
+func (sv *Server) Stop() {
+	if sv.proc != nil {
+		sv.proc.Interrupt(nil)
+	}
+}
+
+func (sv *Server) run(p *sim.Proc) {
+	for {
+		env, err := sv.ep.Recv(p)
+		if err != nil {
+			return
+		}
+		if !sv.filter.Admit(env) {
+			sv.dropped++
+			continue
+		}
+		var batch Batch
+		if err := env.Decode(&batch); err != nil {
+			continue
+		}
+		sv.process(batch)
+	}
+}
+
+// process ingests one admitted batch and forwards the resulting metrics.
+func (sv *Server) process(batch Batch) {
+	now := sv.env.Now()
+	var out []Metric
+
+	for _, u := range batch.Updates {
+		g, err := spec.ParseGranularity(u.Granularity)
+		if err != nil {
+			continue
+		}
+		def := sv.cfg.Sensors[u.Sensor]
+		if def == nil {
+			continue
+		}
+		m := Metric{
+			Key: Key{
+				Workflow:    u.Workflow,
+				Task:        u.Task,
+				Sensor:      u.Sensor,
+				Granularity: g,
+				Node:        u.Node,
+			},
+			Value:       u.Value,
+			Step:        u.Step,
+			GeneratedAt: sim.Time(u.GeneratedAt),
+			ObservedAt:  now,
+		}
+		m = sv.applyJoin(def, m)
+		sv.last[m.Key] = m
+		if def.HasGranularity(g) {
+			out = append(out, m)
+		}
+
+		// Derive cross-task granularities declared on the sensor.
+		for _, grp := range def.Groups {
+			switch grp.Granularity {
+			case spec.GranWorkflow:
+				if g == spec.GranTask {
+					if dm, ok := sv.deriveWorkflow(def, grp, m); ok {
+						sv.last[dm.Key] = dm
+						out = append(out, dm)
+					}
+				}
+			case spec.GranNodeWorkflow:
+				if g == spec.GranNodeTask {
+					if dm, ok := sv.deriveNodeWorkflow(def, grp, m); ok {
+						sv.last[dm.Key] = dm
+						out = append(out, dm)
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	msgs := make([]MetricMsg, len(out))
+	for i, m := range out {
+		msgs[i] = m.ToMsg()
+		if prev, seen := sv.lastGen[m.Key]; seen && prev == m.GeneratedAt {
+			continue // stale re-poll: not a detection event
+		}
+		sv.lastGen[m.Key] = m.GeneratedAt
+		w, ok := sv.lags[m.Key.Sensor]
+		if !ok {
+			w = &stats.Welford{}
+			sv.lags[m.Key.Sensor] = w
+		}
+		if m.ObservedAt >= m.GeneratedAt {
+			w.Add((m.ObservedAt - m.GeneratedAt).Seconds())
+		}
+	}
+	sv.forwarded += len(out)
+	if sv.onForward != nil {
+		sv.onForward(out)
+	}
+	sv.ep.Send(sv.out, msgs)
+}
+
+// applyJoin combines the metric with the joined sensor's latest value. By
+// default the join matches the same workflow/task/granularity/node key; a
+// join granularity override matches the other sensor's series at that
+// granularity instead (workflow-level series carry no task or node).
+func (sv *Server) applyJoin(def *spec.SensorDef, m Metric) Metric {
+	if def.Join == nil {
+		return m
+	}
+	ok := Key{
+		Workflow:    m.Key.Workflow,
+		Task:        m.Key.Task,
+		Sensor:      def.Join.SensorID,
+		Granularity: m.Key.Granularity,
+		Node:        m.Key.Node,
+	}
+	if def.Join.Granularity != nil {
+		ok.Granularity = *def.Join.Granularity
+		switch ok.Granularity {
+		case spec.GranWorkflow:
+			ok.Task, ok.Node = "", ""
+		case spec.GranNodeWorkflow:
+			ok.Task = ""
+		}
+	}
+	other, found := sv.last[ok]
+	if !found {
+		return m
+	}
+	m.Value = def.Join.Op.Apply(m.Value, other.Value)
+	return m
+}
+
+// deriveWorkflow reduces the latest task-level values of the sensor across
+// all tasks of the workflow.
+func (sv *Server) deriveWorkflow(def *spec.SensorDef, grp spec.GroupDef, trigger Metric) (Metric, bool) {
+	var vals []float64
+	var keys []Key
+	for k := range sv.last {
+		if k.Workflow == trigger.Key.Workflow && k.Sensor == def.ID && k.Granularity == spec.GranTask {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Task < keys[j].Task })
+	maxStep := 0
+	var genAt sim.Time
+	for _, k := range keys {
+		m := sv.last[k]
+		vals = append(vals, m.Value)
+		if m.Step > maxStep {
+			maxStep = m.Step
+		}
+		// The derived metric is as fresh as the freshest contributor; a
+		// stale re-poll of one task must not stamp the workflow front old.
+		if m.GeneratedAt > genAt {
+			genAt = m.GeneratedAt
+		}
+	}
+	v, ok := stats.Reduce(grp.Reduction, vals)
+	if !ok {
+		return Metric{}, false
+	}
+	return Metric{
+		Key: Key{
+			Workflow:    trigger.Key.Workflow,
+			Sensor:      def.ID,
+			Granularity: spec.GranWorkflow,
+		},
+		Value:       v,
+		Step:        maxStep,
+		GeneratedAt: genAt,
+		ObservedAt:  trigger.ObservedAt,
+	}, true
+}
+
+// deriveNodeWorkflow reduces the latest node-task values across all tasks
+// sharing the triggering update's node.
+func (sv *Server) deriveNodeWorkflow(def *spec.SensorDef, grp spec.GroupDef, trigger Metric) (Metric, bool) {
+	var vals []float64
+	var keys []Key
+	for k := range sv.last {
+		if k.Workflow == trigger.Key.Workflow && k.Sensor == def.ID &&
+			k.Granularity == spec.GranNodeTask && k.Node == trigger.Key.Node {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Task < keys[j].Task })
+	var genAt sim.Time
+	for _, k := range keys {
+		m := sv.last[k]
+		vals = append(vals, m.Value)
+		if m.GeneratedAt > genAt {
+			genAt = m.GeneratedAt
+		}
+	}
+	v, ok := stats.Reduce(grp.Reduction, vals)
+	if !ok {
+		return Metric{}, false
+	}
+	return Metric{
+		Key: Key{
+			Workflow:    trigger.Key.Workflow,
+			Sensor:      def.ID,
+			Granularity: spec.GranNodeWorkflow,
+			Node:        trigger.Key.Node,
+		},
+		Value:       v,
+		Step:        trigger.Step,
+		GeneratedAt: genAt,
+		ObservedAt:  trigger.ObservedAt,
+	}, true
+}

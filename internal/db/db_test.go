@@ -1,0 +1,69 @@
+package db
+
+import (
+	"testing"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+func TestPutLatest(t *testing.T) {
+	s := sim.New(1)
+	svc := New(s, 0)
+	if _, ok := svc.Latest("pace"); ok {
+		t.Fatal("empty key should have no record")
+	}
+	s.After(time.Second, func() { svc.Put("pace", 1, 30) })
+	s.After(2*time.Second, func() { svc.Put("pace", 2, 31) })
+	s.RunUntilIdle()
+	rec, ok := svc.Latest("pace")
+	if !ok || rec.Step != 2 || rec.Value != 31 || rec.At != 2*time.Second {
+		t.Fatalf("latest = %+v, %v", rec, ok)
+	}
+}
+
+func TestSince(t *testing.T) {
+	s := sim.New(1)
+	svc := New(s, 0)
+	for i := 1; i <= 10; i++ {
+		svc.Put("k", i, float64(i))
+	}
+	got := svc.Since("k", 7)
+	if len(got) != 3 || got[0].Step != 8 || got[2].Step != 10 {
+		t.Fatalf("since = %+v", got)
+	}
+	if len(svc.Since("k", 100)) != 0 {
+		t.Fatal("since beyond end should be empty")
+	}
+	if len(svc.Since("nope", 0)) != 0 {
+		t.Fatal("unknown key should be empty")
+	}
+}
+
+func TestRetentionBound(t *testing.T) {
+	s := sim.New(1)
+	svc := New(s, 4)
+	for i := 1; i <= 10; i++ {
+		svc.Put("k", i, float64(i))
+	}
+	got := svc.Since("k", 0)
+	if len(got) != 4 || got[0].Step != 7 {
+		t.Fatalf("retained = %+v, want the newest 4", got)
+	}
+}
+
+func TestKeysAndStats(t *testing.T) {
+	s := sim.New(1)
+	svc := New(s, 0)
+	svc.Put("b", 1, 1)
+	svc.Put("a", 1, 1)
+	keys := svc.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	svc.Latest("a")
+	w, q := svc.Stats()
+	if w != 2 || q != 1 {
+		t.Fatalf("stats = %d writes, %d queries", w, q)
+	}
+}

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"dyflow/internal/apps"
+	"dyflow/internal/cluster"
+	"dyflow/internal/core"
+	"dyflow/internal/resmgr"
+)
+
+// conservationHolds checks the resource-manager invariant: free + assigned
+// healthy cores equals the healthy allocated capacity.
+func conservationHolds(t *testing.T, rm *resmgr.Manager, c *cluster.Cluster) {
+	t.Helper()
+	st := rm.Status()
+	healthyCap := 0
+	for _, id := range st.AllocatedNodes {
+		if n := c.Node(id); n != nil && n.Healthy() {
+			healthyCap += n.Cores
+		}
+	}
+	total := st.FreeCores.Total()
+	for _, rs := range st.AssignedCores {
+		total += rs.Total()
+	}
+	if total != healthyCap {
+		t.Fatalf("conservation violated: free+assigned=%d, healthy capacity=%d", total, healthyCap)
+	}
+}
+
+// TestNodeFailureDuringAdaptation injects a node failure right inside the
+// first Gray-Scott adaptation window (while tasks are being stopped and
+// restarted). The run cannot succeed — the scenario has no failure policy —
+// but the system must stay consistent: no simulator fault, no resource
+// leak, no task half-assigned.
+func TestNodeFailureDuringAdaptation(t *testing.T) {
+	cfg := apps.GrayScottConfigFor(apps.Summit)
+	w, err := NewWorld(1, apps.Summit, cfg.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SV.Compose(apps.GrayScottWorkflow(apps.Summit)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StartOrchestration(GrayScottXML(apps.Summit), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(apps.GrayScottWorkflowID)
+
+	// The first adaptation runs ~2m30s-3m30s (stops draining); kill a node
+	// right in the middle of it.
+	w.Cluster.FailNodeAt(3*time.Minute, "node004")
+
+	if err := w.Run(20 * time.Minute); err != nil {
+		t.Fatalf("simulation fault under chaos: %v", err)
+	}
+	conservationHolds(t, w.RM, w.Cluster)
+
+	// Every interval the recorder closed is internally consistent.
+	w.Rec.CloseOpen()
+	for _, iv := range w.Rec.Intervals {
+		if iv.End < iv.Start {
+			t.Fatalf("interval ends before start: %+v", iv)
+		}
+	}
+	// The failed node carries no assignments.
+	st := w.RM.Status()
+	for owner, rs := range st.AssignedCores {
+		if rs["node004"] != 0 {
+			t.Fatalf("%s still assigned on the failed node: %v", owner, rs)
+		}
+	}
+}
+
+// TestNodeFailureDuringAdaptationWithRecoveryPolicy adds RESTART_ON_FAILURE
+// to the same chaos scenario: the workflow must come back and finish.
+func TestNodeFailureDuringAdaptationWithRecoveryPolicy(t *testing.T) {
+	cfg := apps.GrayScottConfigFor(apps.Summit)
+	w, err := NewWorld(1, apps.Summit, cfg.Nodes+1) // one spare node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SV.Compose(apps.GrayScottWorkflow(apps.Summit)); err != nil {
+		t.Fatal(err)
+	}
+	xml := GrayScottXML(apps.Summit)
+	// Splice in a STATUS sensor and a restart policy for the simulation
+	// and the bottleneck analysis chain.
+	xml = spliceRecovery(xml)
+	if err := w.StartOrchestration(xml, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(apps.GrayScottWorkflowID)
+	w.Cluster.FailNodeAt(3*time.Minute, "node004")
+
+	end, err := w.RunUntilWorkflowDone(apps.GrayScottWorkflowID, 3*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conservationHolds(t, w.RM, w.Cluster)
+	gs := w.SV.Instance(apps.GrayScottWorkflowID, "GrayScott")
+	if gs.State().String() != "Completed" {
+		t.Fatalf("GrayScott = %v after recovery (end %v)", gs.State(), end)
+	}
+	if gs.Incarnation == 0 {
+		t.Fatal("GrayScott should have been restarted after the failure")
+	}
+}
+
+// spliceRecovery inserts a STATUS sensor, monitors, and restart policies
+// into a generated Gray-Scott orchestration document.
+func spliceRecovery(xml string) string {
+	xml = replaceOnce(xml, "</sensors>", `  <sensor id="STATUS" type="ERRORSTATUS">
+        <group-by><group granularity="task" reduction-operation="FIRST"/></group-by>
+      </sensor>
+    </sensors>`)
+	monitors := ""
+	applies := ""
+	for _, name := range []string{"GrayScott", "Isosurface", "Rendering", "FFT", "PDF_Calc"} {
+		monitors += `
+      <monitor-task name="` + name + `" workflowId="GS-WORKFLOW">
+        <use-sensor sensor-id="STATUS" info="exitcode"/>
+      </monitor-task>`
+		applies += `
+      <apply-policy policyId="RESTART_ON_FAILURE" assess-task="` + name + `">
+        <act-on-tasks>` + name + `</act-on-tasks>
+      </apply-policy>`
+	}
+	xml = replaceOnce(xml, "</monitor-tasks>", monitors+"\n    </monitor-tasks>")
+	xml = replaceOnce(xml, "</policies>", `  <policy id="RESTART_ON_FAILURE">
+        <eval operation="GT" threshold="128"/>
+        <sensors-to-use><use-sensor id="STATUS" granularity="task"/></sensors-to-use>
+        <action>RESTART</action>
+        <frequency seconds="5"/>
+      </policy>
+    </policies>`)
+	xml = replaceOnce(xml, "</apply-on>", applies+"\n    </apply-on>")
+	return xml
+}
+
+func replaceOnce(s, old, new string) string {
+	i := indexOf(s, old)
+	if i < 0 {
+		panic("splice target not found: " + old)
+	}
+	return s[:i] + new + s[i+len(old):]
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"dyflow/internal/apps"
+)
+
+// TestScenarioDeterminism: the same seed reproduces a byte-identical trace
+// of the full Gray-Scott scenario (Gantt + plan summary).
+func TestScenarioDeterminism(t *testing.T) {
+	render := func() string {
+		res, err := RunGrayScott(99, apps.Summit, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.W.Rec.Gantt(&buf, 120)
+		res.W.Rec.PlanSummary(&buf)
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("traces diverged:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestShapeAcrossSeeds: the Figure 8 shape (two adaptations, Isosurface
+// 20->40->60, PDF then FFT victimized) is not a single-seed accident.
+func TestShapeAcrossSeeds(t *testing.T) {
+	for seed := int64(2); seed <= 4; seed++ {
+		res, err := RunGrayScott(seed, apps.Summit, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.IsoSizes) != 3 || res.IsoSizes[0] != 20 || res.IsoSizes[1] != 40 || res.IsoSizes[2] != 60 {
+			t.Errorf("seed %d: Isosurface sizes = %v", seed, res.IsoSizes)
+		}
+		if len(res.Victims) != 2 {
+			t.Errorf("seed %d: victims = %v", seed, res.Victims)
+			continue
+		}
+		if len(res.Victims[0]) != 1 || res.Victims[0][0] != "PDF_Calc" ||
+			len(res.Victims[1]) != 1 || res.Victims[1][0] != "FFT" {
+			t.Errorf("seed %d: victims = %v", seed, res.Victims)
+		}
+		if !res.Completed || res.Makespan > res.TimeLimit {
+			t.Errorf("seed %d: completed=%v makespan=%v", seed, res.Completed, res.Makespan)
+		}
+	}
+}
+
+// TestXGCShapeAcrossSeeds: the alternation's event sequence is stable.
+func TestXGCShapeAcrossSeeds(t *testing.T) {
+	for seed := int64(2); seed <= 3; seed++ {
+		res, err := RunXGC(seed, apps.Summit)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.XGCaStarts != 3 {
+			t.Errorf("seed %d: XGCa starts = %d", seed, res.XGCaStarts)
+		}
+		if res.FinalStep <= 500 || res.FinalStep > 520 {
+			t.Errorf("seed %d: final step = %d", seed, res.FinalStep)
+		}
+		var kinds []string
+		for _, ev := range res.Events {
+			kinds = append(kinds, ev.Kind)
+		}
+		want := []string{"start-xgca", "start-xgc1", "start-xgca", "switch", "start-xgca", "stop"}
+		if len(kinds) != len(want) {
+			t.Errorf("seed %d: events = %v", seed, kinds)
+			continue
+		}
+		for i := range want {
+			if kinds[i] != want[i] {
+				t.Errorf("seed %d: events = %v", seed, kinds)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+// PlotSeries renders a metric series as an ASCII chart with optional
+// horizontal threshold lines — the textual analogue of the paper's Figure 9
+// (average time per timestep with the desired interval marked).
+func PlotSeries(w io.Writer, title string, series []MetricPoint, width, height int, thresholds ...float64) {
+	if len(series) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 10
+	}
+	minV, maxV := series[0].Value, series[0].Value
+	for _, p := range series {
+		if p.Value < minV {
+			minV = p.Value
+		}
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+	}
+	for _, th := range thresholds {
+		if th < minV {
+			minV = th
+		}
+		if th > maxV {
+			maxV = th
+		}
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	span := maxV - minV
+	minV -= span * 0.05
+	maxV += span * 0.05
+
+	start := series[0].At
+	end := series[len(series)-1].At
+	if end == start {
+		end = start + 1
+	}
+	col := func(at sim.Time) int {
+		c := int(int64(at-start) * int64(width) / (int64(end-start) + 1))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	row := func(v float64) int {
+		r := int((maxV - v) / (maxV - minV) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, th := range thresholds {
+		r := row(th)
+		for c := 0; c < width; c++ {
+			grid[r][c] = '┄'
+		}
+	}
+	for _, p := range series {
+		grid[row(p.Value)][col(p.At)] = '●'
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for i, line := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%6.1f", maxV)
+		case height - 1:
+			label = fmt.Sprintf("%6.1f", minV)
+		default:
+			label = strings.Repeat(" ", 6)
+		}
+		fmt.Fprintf(w, "%s │%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s └%s\n", strings.Repeat(" ", 6), strings.Repeat("─", width))
+	fmt.Fprintf(w, "%s  %-12v%*v\n", strings.Repeat(" ", 6),
+		time.Duration(start).Round(time.Second), width-12, time.Duration(end).Round(time.Second))
+}

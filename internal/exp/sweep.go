@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// SweepResult pairs a seed with its scenario outcome (or error).
+type SweepResult[T any] struct {
+	Seed int64
+	Out  T
+	Err  error
+}
+
+// Sweep runs one scenario across many seeds in parallel on a bounded worker
+// pool (each seed is an independent deterministic simulation, so the sweep
+// parallelizes perfectly across OS threads). Results return in seed order.
+// workers <= 0 uses GOMAXPROCS.
+func Sweep[T any](seeds []int64, workers int, run func(seed int64) (T, error)) []SweepResult[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	jobs := make(chan int64)
+	resCh := make(chan SweepResult[T], len(seeds))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range jobs {
+				out, err := run(seed)
+				resCh <- SweepResult[T]{Seed: seed, Out: out, Err: err}
+			}
+		}()
+	}
+	for _, s := range seeds {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	close(resCh)
+
+	out := make([]SweepResult[T], 0, len(seeds))
+	for r := range resCh {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seed < out[j].Seed })
+	return out
+}
+
+// Seeds returns [first, first+n) as a seed list.
+func Seeds(first int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = first + int64(i)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package exp is the experiment harness: it builds complete simulated
+// worlds (cluster + resource manager + Savanna + DYFLOW), runs the paper's
+// scenarios, records traces, and regenerates every table and figure of the
+// evaluation section (see DESIGN.md §5 for the experiment index).
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"dyflow/internal/apps"
+	"dyflow/internal/cluster"
+	"dyflow/internal/core"
+	"dyflow/internal/core/spec"
+	"dyflow/internal/db"
+	"dyflow/internal/fsim"
+	"dyflow/internal/resmgr"
+	"dyflow/internal/sim"
+	"dyflow/internal/stream"
+	"dyflow/internal/task"
+	"dyflow/internal/wms"
+)
+
+// World is a complete simulated deployment.
+type World struct {
+	Sim     *sim.Sim
+	Cluster *cluster.Cluster
+	RM      *resmgr.Manager
+	Env     *task.Env
+	SV      *wms.Savanna
+	Orch    *core.Orchestrator // nil for baseline (no-DYFLOW) runs
+	Rec     *Recorder
+}
+
+// NewWorld builds a world on the given machine with nodes allocated to the
+// job.
+func NewWorld(seed int64, m apps.Machine, nodes int) (*World, error) {
+	s := sim.New(seed)
+	var c *cluster.Cluster
+	if m == apps.Summit {
+		c = cluster.Summit(s, nodes)
+	} else {
+		c = cluster.Deepthought2(s, nodes)
+	}
+	rm := resmgr.New(c)
+	if _, err := rm.Allocate(nodes); err != nil {
+		return nil, err
+	}
+	env := &task.Env{Sim: s, FS: fsim.New(s), Streams: stream.NewRegistry(s), DB: db.New(s, 0)}
+	w := &World{
+		Sim:     s,
+		Cluster: c,
+		RM:      rm,
+		Env:     env,
+		SV:      wms.New(env, rm),
+		Rec:     NewRecorder(s),
+	}
+	w.Rec.AttachWMS(w.SV)
+	return w, nil
+}
+
+// StartOrchestration compiles the DYFLOW XML, builds the orchestrator, and
+// starts its stage services. Call before Launch.
+func (w *World) StartOrchestration(xml string, opts core.Options) error {
+	cfg, err := spec.CompileString(xml)
+	if err != nil {
+		return err
+	}
+	w.Orch = core.New(w.Env, w.SV, cfg, opts)
+	w.Rec.AttachOrchestrator(w.Orch)
+	w.Orch.Start()
+	return nil
+}
+
+// Launch starts the named workflows from a driver process.
+func (w *World) Launch(workflows ...string) {
+	w.Sim.Spawn("driver", func(p *sim.Proc) {
+		for _, wf := range workflows {
+			if err := w.SV.Launch(p, wf); err != nil {
+				panic(fmt.Sprintf("launch %s: %v", wf, err))
+			}
+		}
+	})
+}
+
+// Run advances the world to the horizon.
+func (w *World) Run(horizon time.Duration) error { return w.Sim.Run(horizon) }
+
+// WorkflowDone reports whether every composed task of the workflow has
+// terminated (none running).
+func (w *World) WorkflowDone(workflowID string) bool {
+	return len(w.SV.RunningTasks(workflowID)) == 0
+}
+
+// RunUntilWorkflowDone advances until the workflow has had no running
+// tasks for a 30-second grace window (so restart gaps — a failed task
+// waiting for its RESTART plan, or an alternation handover — do not read
+// as completion) or the horizon passes. It returns the instant the
+// workflow was first observed idle.
+func (w *World) RunUntilWorkflowDone(workflowID string, horizon time.Duration) (sim.Time, error) {
+	const poll = time.Second
+	const grace = 30 * time.Second
+	started := false
+	idleSince := sim.Time(-1)
+	for w.Sim.Now() < horizon {
+		next := w.Sim.Now() + poll
+		if err := w.Sim.Run(next); err != nil {
+			return 0, err
+		}
+		running := len(w.SV.RunningTasks(workflowID)) > 0
+		switch {
+		case running:
+			started = true
+			idleSince = -1
+		case started:
+			if idleSince < 0 {
+				idleSince = w.Sim.Now()
+			}
+			if w.Sim.Now()-idleSince >= grace {
+				return idleSince, nil
+			}
+		}
+		if w.Sim.Pending() == 0 {
+			break
+		}
+	}
+	return w.Sim.Now(), nil
+}

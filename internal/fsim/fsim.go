@@ -1,0 +1,151 @@
+// Package fsim provides the simulated parallel filesystem the workflow
+// tasks write to and DYFLOW's disk-based sensor sources read from.
+//
+// Tasks deposit output files (e.g. XGC1's per-interval restart dumps),
+// checkpoints, and scheduler-style exit-status files here; the Monitor
+// stage's DISKSCAN and FILE source types poll it with glob patterns, exactly
+// as the paper's NSTEPS and STATUS sensors do.
+package fsim
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"dyflow/internal/sim"
+)
+
+// File is one entry in the filesystem. Scientific output is modelled as a
+// set of named numeric variables plus an opaque size — the pieces sensors
+// actually consume.
+type File struct {
+	Path  string
+	Size  int64
+	MTime sim.Time
+	// Vars holds named numeric variables readable by file-based sensors
+	// (e.g. "step" -> 374, "exitcode" -> 137).
+	Vars map[string]float64
+}
+
+// clone returns a defensive copy.
+func (f *File) clone() *File {
+	vars := make(map[string]float64, len(f.Vars))
+	for k, v := range f.Vars {
+		vars[k] = v
+	}
+	return &File{Path: f.Path, Size: f.Size, MTime: f.MTime, Vars: vars}
+}
+
+// FS is a flat-namespace virtual filesystem on the simulation clock. Paths
+// are slash-separated; globbing matches with path.Match per segment.
+type FS struct {
+	sim   *sim.Sim
+	files map[string]*File
+}
+
+// New creates an empty filesystem bound to s.
+func New(s *sim.Sim) *FS {
+	return &FS{sim: s, files: make(map[string]*File)}
+}
+
+// Write creates or replaces the file at p with the given size and
+// variables, stamping the current virtual time.
+func (fs *FS) Write(p string, size int64, vars map[string]float64) {
+	f := &File{Path: p, Size: size, MTime: fs.sim.Now(), Vars: map[string]float64{}}
+	for k, v := range vars {
+		f.Vars[k] = v
+	}
+	fs.files[p] = f
+}
+
+// WriteVar creates or updates the file at p, setting a single variable and
+// refreshing the mtime.
+func (fs *FS) WriteVar(p, name string, value float64) {
+	f, ok := fs.files[p]
+	if !ok {
+		fs.Write(p, 0, map[string]float64{name: value})
+		return
+	}
+	f.Vars[name] = value
+	f.MTime = fs.sim.Now()
+}
+
+// Remove deletes the file at p (no-op if absent).
+func (fs *FS) Remove(p string) { delete(fs.files, p) }
+
+// RemoveGlob deletes every file matching pattern and returns the count.
+func (fs *FS) RemoveGlob(pattern string) int {
+	matches := fs.Glob(pattern)
+	for _, f := range matches {
+		delete(fs.files, f.Path)
+	}
+	return len(matches)
+}
+
+// Stat returns a copy of the file at p, or nil if it does not exist.
+func (fs *FS) Stat(p string) *File {
+	f, ok := fs.files[p]
+	if !ok {
+		return nil
+	}
+	return f.clone()
+}
+
+// ReadVar reads one numeric variable from the file at p.
+func (fs *FS) ReadVar(p, name string) (float64, error) {
+	f, ok := fs.files[p]
+	if !ok {
+		return 0, fmt.Errorf("fsim: %s: no such file", p)
+	}
+	v, ok := f.Vars[name]
+	if !ok {
+		return 0, fmt.Errorf("fsim: %s: no variable %q", p, name)
+	}
+	return v, nil
+}
+
+// Glob returns copies of all files whose path matches pattern, sorted by
+// path. Matching is segment-wise (path.Match semantics per path element);
+// a trailing "**" segment matches any remaining suffix.
+func (fs *FS) Glob(pattern string) []*File {
+	var out []*File
+	for p, f := range fs.files {
+		ok, err := Match(pattern, p)
+		if err == nil && ok {
+			out = append(out, f.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Count returns the number of files matching pattern.
+func (fs *FS) Count(pattern string) int { return len(fs.Glob(pattern)) }
+
+// Len returns the total number of files.
+func (fs *FS) Len() int { return len(fs.files) }
+
+// Match reports whether name matches the glob pattern, comparing path
+// segments with path.Match. A final "**" pattern segment matches any
+// remaining (possibly empty) suffix of name.
+func Match(pattern, name string) (bool, error) {
+	ps := strings.Split(pattern, "/")
+	ns := strings.Split(name, "/")
+	for i, seg := range ps {
+		if seg == "**" && i == len(ps)-1 {
+			return true, nil
+		}
+		if i >= len(ns) {
+			return false, nil
+		}
+		ok, err := path.Match(seg, ns[i])
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return len(ps) == len(ns), nil
+}

@@ -1,0 +1,125 @@
+package fsim
+
+import (
+	"testing"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+func TestWriteStatReadVar(t *testing.T) {
+	s := sim.New(1)
+	fs := New(s)
+	s.After(5*time.Second, func() {
+		fs.Write("out/xgc1.0001.bp", 1024, map[string]float64{"step": 100})
+	})
+	s.RunUntilIdle()
+
+	f := fs.Stat("out/xgc1.0001.bp")
+	if f == nil {
+		t.Fatal("file missing")
+	}
+	if f.MTime != 5*time.Second || f.Size != 1024 {
+		t.Fatalf("file = %+v", f)
+	}
+	v, err := fs.ReadVar("out/xgc1.0001.bp", "step")
+	if err != nil || v != 100 {
+		t.Fatalf("ReadVar = %v, %v", v, err)
+	}
+	if _, err := fs.ReadVar("out/xgc1.0001.bp", "nope"); err == nil {
+		t.Fatal("missing variable should error")
+	}
+	if _, err := fs.ReadVar("nope", "step"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestWriteVarUpdatesMTime(t *testing.T) {
+	s := sim.New(1)
+	fs := New(s)
+	fs.WriteVar("status/sim.exit", "exitcode", 0)
+	s.After(time.Minute, func() { fs.WriteVar("status/sim.exit", "exitcode", 137) })
+	s.RunUntilIdle()
+	f := fs.Stat("status/sim.exit")
+	if f.MTime != time.Minute {
+		t.Fatalf("mtime = %v, want 1m", f.MTime)
+	}
+	if f.Vars["exitcode"] != 137 {
+		t.Fatalf("exitcode = %v", f.Vars["exitcode"])
+	}
+}
+
+func TestGlobSortedAndIsolated(t *testing.T) {
+	s := sim.New(1)
+	fs := New(s)
+	fs.Write("out/tau-iso.bp.2", 1, map[string]float64{"v": 2})
+	fs.Write("out/tau-iso.bp.0", 1, map[string]float64{"v": 0})
+	fs.Write("out/tau-iso.bp.1", 1, map[string]float64{"v": 1})
+	fs.Write("out/other.bp", 1, nil)
+
+	got := fs.Glob("out/tau-iso.bp.*")
+	if len(got) != 3 {
+		t.Fatalf("matches = %d, want 3", len(got))
+	}
+	for i, f := range got {
+		if f.Vars["v"] != float64(i) {
+			t.Fatalf("glob not sorted: %v", got)
+		}
+	}
+	// Mutating the returned copy must not touch the FS.
+	got[0].Vars["v"] = 99
+	if v, _ := fs.ReadVar("out/tau-iso.bp.0", "v"); v != 0 {
+		t.Fatal("Glob returned aliased file data")
+	}
+}
+
+func TestGlobSegments(t *testing.T) {
+	s := sim.New(1)
+	fs := New(s)
+	fs.Write("a/b/c.txt", 1, nil)
+	fs.Write("a/x/c.txt", 1, nil)
+	fs.Write("a/b/d/e.txt", 1, nil)
+
+	if n := fs.Count("a/*/c.txt"); n != 2 {
+		t.Fatalf("a/*/c.txt matches = %d, want 2", n)
+	}
+	// Single * does not cross segments.
+	if n := fs.Count("a/*"); n != 0 {
+		t.Fatalf("a/* matches = %d, want 0", n)
+	}
+	// Trailing ** matches any suffix.
+	if n := fs.Count("a/**"); n != 3 {
+		t.Fatalf("a/** matches = %d, want 3", n)
+	}
+	if n := fs.Count("a/b/**"); n != 2 {
+		t.Fatalf("a/b/** matches = %d, want 2", n)
+	}
+}
+
+func TestRemoveGlob(t *testing.T) {
+	s := sim.New(1)
+	fs := New(s)
+	fs.Write("ckpt/l.100", 1, nil)
+	fs.Write("ckpt/l.200", 1, nil)
+	fs.Write("out/keep", 1, nil)
+	if n := fs.RemoveGlob("ckpt/*"); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if fs.Len() != 1 {
+		t.Fatalf("len = %d, want 1", fs.Len())
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	if _, err := Match("[", "x"); err == nil {
+		t.Fatal("bad pattern should error")
+	}
+	ok, err := Match("a/b", "a/b/c")
+	if err != nil || ok {
+		t.Fatal("shorter pattern must not match longer path")
+	}
+	ok, _ = Match("a/b/c", "a/b")
+	if ok {
+		t.Fatal("longer pattern must not match shorter path")
+	}
+}

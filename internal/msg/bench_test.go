@@ -1,0 +1,48 @@
+package msg
+
+import (
+	"testing"
+
+	"dyflow/internal/sim"
+)
+
+type benchPayload struct {
+	Sensor string    `json:"sensor"`
+	Values []float64 `json:"values"`
+}
+
+// BenchmarkSendRecvJSON measures one JSON round trip through the bus — the
+// marshal/deliver/unmarshal path every sensor update pays.
+func BenchmarkSendRecvJSON(b *testing.B) {
+	s := sim.New(1)
+	bus := NewBus(s)
+	src := bus.Endpoint("client")
+	dst := bus.Endpoint("server")
+	payload := benchPayload{Sensor: "PACE", Values: make([]float64, 64)}
+
+	s.Spawn("receiver", func(p *sim.Proc) {
+		var out benchPayload
+		for {
+			env, err := dst.Recv(p)
+			if err != nil {
+				return
+			}
+			if err := env.Decode(&out); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	s.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := src.Send("server", payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := s.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package msg is the JSON messaging layer DYFLOW's stages communicate
+// over — the stand-in for the paper's PyZMQ sockets and shared queues. All
+// inter-stage traffic ("All communications between the service threads occur
+// through shared queues and JSON formatted messages") is JSON-encoded for
+// real, so the encode/decode path is exercised, and delivery latency can be
+// configured (with jitter) so the Monitor server's out-of-order filtering
+// has something to filter.
+package msg
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+// Envelope is one delivered message.
+type Envelope struct {
+	// From and To are endpoint names.
+	From, To string
+	// Seq is the per-sender sequence number (1, 2, ...). Receivers use it
+	// to detect stale or duplicated traffic.
+	Seq uint64
+	// SentAt is the virtual send time.
+	SentAt sim.Time
+	// Data is the JSON-encoded payload.
+	Data []byte
+}
+
+// Decode unmarshals the payload into v.
+func (e *Envelope) Decode(v any) error { return json.Unmarshal(e.Data, v) }
+
+// Endpoint is a named mailbox on the bus.
+type Endpoint struct {
+	bus  *Bus
+	name string
+	in   *sim.Queue[Envelope]
+	seq  uint64 // outgoing sequence counter
+}
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Recv blocks the calling process until a message arrives.
+func (e *Endpoint) Recv(p *sim.Proc) (Envelope, error) { return e.in.Get(p) }
+
+// TryRecv returns a pending message without blocking.
+func (e *Endpoint) TryRecv() (Envelope, bool) { return e.in.TryGet() }
+
+// Pending returns the number of queued messages.
+func (e *Endpoint) Pending() int { return e.in.Len() }
+
+// Send JSON-encodes payload and delivers it to the named endpoint after the
+// bus's configured latency. Sending to an unknown endpoint returns an
+// error; marshalling failures are returned immediately.
+func (e *Endpoint) Send(to string, payload any) error {
+	return e.bus.send(e, to, payload)
+}
+
+// Bus connects endpoints with latency-modelled JSON delivery.
+type Bus struct {
+	sim       *sim.Sim
+	endpoints map[string]*Endpoint
+	// Latency returns the delivery delay for a message from -> to. The
+	// default is zero. Jitter here is what produces out-of-order arrivals.
+	Latency func(from, to string) time.Duration
+}
+
+// NewBus creates an empty bus.
+func NewBus(s *sim.Sim) *Bus {
+	return &Bus{sim: s, endpoints: make(map[string]*Endpoint)}
+}
+
+// UniformJitterLatency returns a latency function: base plus a uniformly
+// random jitter in [0, jitter), drawn from the simulation's deterministic
+// RNG.
+func UniformJitterLatency(s *sim.Sim, base, jitter time.Duration) func(from, to string) time.Duration {
+	return func(from, to string) time.Duration {
+		d := base
+		if jitter > 0 {
+			d += time.Duration(s.Rand().Int63n(int64(jitter)))
+		}
+		return d
+	}
+}
+
+// Endpoint creates (or returns) the endpoint with the given name.
+func (b *Bus) Endpoint(name string) *Endpoint {
+	if ep, ok := b.endpoints[name]; ok {
+		return ep
+	}
+	ep := &Endpoint{bus: b, name: name, in: sim.NewQueue[Envelope](b.sim, 0)}
+	b.endpoints[name] = ep
+	return ep
+}
+
+func (b *Bus) send(from *Endpoint, to string, payload any) error {
+	dst, ok := b.endpoints[to]
+	if !ok {
+		return fmt.Errorf("msg: no endpoint %q", to)
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("msg: marshal for %q: %w", to, err)
+	}
+	from.seq++
+	env := Envelope{
+		From:   from.name,
+		To:     to,
+		Seq:    from.seq,
+		SentAt: b.sim.Now(),
+		Data:   data,
+	}
+	var latency time.Duration
+	if b.Latency != nil {
+		latency = b.Latency(from.name, to)
+	}
+	b.sim.After(latency, func() { dst.in.TryPut(env) })
+	return nil
+}
+
+// OrderFilter drops stale messages: per sender, only envelopes with a
+// sequence number above the highest seen so far pass. This mirrors the
+// Monitor server, which "filters the out of order messages from the
+// client(s)".
+type OrderFilter struct {
+	last map[string]uint64
+}
+
+// NewOrderFilter creates an empty filter.
+func NewOrderFilter() *OrderFilter { return &OrderFilter{last: make(map[string]uint64)} }
+
+// Admit reports whether env is fresh, updating the high-water mark.
+func (f *OrderFilter) Admit(env Envelope) bool {
+	if env.Seq <= f.last[env.From] {
+		return false
+	}
+	f.last[env.From] = env.Seq
+	return true
+}
+
+// Reset forgets a sender's high-water mark (used when a monitor client is
+// restarted and its sequence numbers start over).
+func (f *OrderFilter) Reset(sender string) { delete(f.last, sender) }

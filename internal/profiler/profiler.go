@@ -1,0 +1,60 @@
+// Package profiler models TAU-style application instrumentation: each
+// completed timestep of an instrumented task publishes a record with the
+// task-level loop time and one value per MPI rank onto a monitoring
+// stream, which DYFLOW's TAUADIOS2 sensor source consumes in real time.
+package profiler
+
+import (
+	"math/rand"
+	"time"
+
+	"dyflow/internal/sim"
+	"dyflow/internal/stream"
+)
+
+// StreamName returns the monitoring stream name for a task ("tau.<task>").
+func StreamName(taskName string) string { return "tau." + taskName }
+
+// Probe publishes per-timestep instrumentation for one task incarnation.
+type Probe struct {
+	st     *stream.Stream
+	spread float64
+	rng    *rand.Rand
+}
+
+// Attach opens (or reopens) the task's monitoring stream. spread is the
+// relative dispersion of per-rank loop times below the slowest rank
+// (default 0.05 when <= 0).
+func Attach(reg *stream.Registry, taskName string, spread float64, rng *rand.Rand) *Probe {
+	if spread <= 0 {
+		spread = 0.05
+	}
+	return &Probe{st: reg.Open(StreamName(taskName)), spread: spread, rng: rng}
+}
+
+// Stream exposes the underlying monitoring stream (the task closes it when
+// the incarnation ends, detaching monitor clients).
+func (pr *Probe) Stream() *stream.Stream { return pr.st }
+
+// EmitStep publishes one timestep record: Vars carries the loop time (the
+// wall time of the step, set by its slowest rank) and the step number;
+// Array carries per-rank loop times, each within spread below the maximum,
+// so MAX reductions recover the loop time exactly.
+func (pr *Probe) EmitStep(p *sim.Proc, globalStep, procs int, loopTime time.Duration) {
+	base := loopTime.Seconds()
+	ranks := make([]float64, procs)
+	for i := range ranks {
+		ranks[i] = base * (1 - pr.spread*pr.rng.Float64())
+	}
+	if procs > 0 {
+		ranks[pr.rng.Intn(procs)] = base
+	}
+	pr.st.Put(p, stream.Step{
+		Index: globalStep,
+		Vars:  map[string]float64{"looptime": base, "step": float64(globalStep)},
+		Array: ranks,
+	})
+}
+
+// Close ends the incarnation's instrumentation stream.
+func (pr *Probe) Close() { pr.st.Close() }

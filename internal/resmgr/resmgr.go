@@ -1,0 +1,384 @@
+// Package resmgr implements the resource-management substrate DYFLOW's
+// Arbitration stage plans against: a job-level allocation of cluster nodes,
+// core-granular assignment of those nodes to workflow tasks, node-health
+// tracking, and on-demand requests for extra nodes.
+//
+// In the paper this role is split between the cluster batch scheduler
+// (LSF/Slurm) and Savanna; here both halves are provided by Manager so that
+// Arbitration's low-level operations (`request_resources`,
+// `release_resources`, `get_resource_status`) have a concrete backend.
+package resmgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dyflow/internal/cluster"
+)
+
+// ResourceSet maps node IDs to a number of CPU cores on that node. It is the
+// currency of every assignment operation: free capacity, per-task
+// assignments, and Arbitration's revised assignments are all ResourceSets.
+type ResourceSet map[cluster.NodeID]int
+
+// Total returns the total core count across nodes.
+func (rs ResourceSet) Total() int {
+	t := 0
+	for _, n := range rs {
+		t += n
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (rs ResourceSet) Clone() ResourceSet {
+	out := make(ResourceSet, len(rs))
+	for k, v := range rs {
+		out[k] = v
+	}
+	return out
+}
+
+// Add folds other into rs (rs += other) and returns rs.
+func (rs ResourceSet) Add(other ResourceSet) ResourceSet {
+	for k, v := range other {
+		rs[k] += v
+	}
+	return rs
+}
+
+// Sub removes other from rs (rs -= other), deleting emptied nodes. It
+// returns an error if other exceeds rs anywhere; rs is modified only on
+// success.
+func (rs ResourceSet) Sub(other ResourceSet) error {
+	for k, v := range other {
+		if rs[k] < v {
+			return fmt.Errorf("resmgr: cannot remove %d cores from %s (have %d)", v, k, rs[k])
+		}
+	}
+	for k, v := range other {
+		rs[k] -= v
+		if rs[k] == 0 {
+			delete(rs, k)
+		}
+	}
+	return nil
+}
+
+// Nodes returns the node IDs in sorted order.
+func (rs ResourceSet) Nodes() []cluster.NodeID {
+	ids := make([]cluster.NodeID, 0, len(rs))
+	for id := range rs {
+		ids = append(ids, id)
+	}
+	return cluster.SortNodeIDs(ids)
+}
+
+// String renders the set as "node000:4+node001:4" in sorted node order.
+func (rs ResourceSet) String() string {
+	if len(rs) == 0 {
+		return "∅"
+	}
+	var parts []string
+	for _, id := range rs.Nodes() {
+		parts = append(parts, fmt.Sprintf("%s:%d", id, rs[id]))
+	}
+	return strings.Join(parts, "+")
+}
+
+// ErrInsufficient is returned when a carve or assignment cannot be satisfied
+// from the available resources.
+var ErrInsufficient = errors.New("resmgr: insufficient resources")
+
+// Manager tracks one job allocation on a cluster and the core-level
+// assignment of that allocation to named owners (workflow task instances).
+type Manager struct {
+	cluster *cluster.Cluster
+	// alloc is the set of nodes granted to the job (whole nodes).
+	alloc map[cluster.NodeID]bool
+	// assigned[owner] is the owner's current ResourceSet.
+	assigned map[string]ResourceSet
+	// onResourceLoss, if set, is invoked when a node in the allocation
+	// fails, once per owner that held cores on it.
+	onResourceLoss func(owner string, node cluster.NodeID, lost int)
+}
+
+// New creates a manager over c with an empty allocation and subscribes to
+// node-health changes.
+func New(c *cluster.Cluster) *Manager {
+	m := &Manager{
+		cluster:  c,
+		alloc:    make(map[cluster.NodeID]bool),
+		assigned: make(map[string]ResourceSet),
+	}
+	c.OnHealthChange(m.healthChanged)
+	return m
+}
+
+// Cluster returns the underlying cluster.
+func (m *Manager) Cluster() *cluster.Cluster { return m.cluster }
+
+// OnResourceLoss registers the callback invoked when an allocated node
+// fails while owners hold cores on it.
+func (m *Manager) OnResourceLoss(fn func(owner string, node cluster.NodeID, lost int)) {
+	m.onResourceLoss = fn
+}
+
+func (m *Manager) healthChanged(n *cluster.Node, healthy bool) {
+	if healthy || !m.alloc[n.ID] {
+		return
+	}
+	// A node in our allocation died: every owner with cores there loses
+	// them. Assignments are trimmed; owners are notified in sorted order.
+	var owners []string
+	for owner, rs := range m.assigned {
+		if rs[n.ID] > 0 {
+			owners = append(owners, owner)
+		}
+	}
+	sort.Strings(owners)
+	for _, owner := range owners {
+		lost := m.assigned[owner][n.ID]
+		delete(m.assigned[owner], n.ID)
+		if m.onResourceLoss != nil {
+			m.onResourceLoss(owner, n.ID, lost)
+		}
+	}
+}
+
+// Allocate grants n whole healthy nodes (not yet allocated) to the job,
+// modelling the initial batch-scheduler allocation. It returns the granted
+// node IDs in deterministic order.
+func (m *Manager) Allocate(n int) ([]cluster.NodeID, error) {
+	var granted []cluster.NodeID
+	for _, node := range m.cluster.HealthyNodes() {
+		if len(granted) == n {
+			break
+		}
+		if !m.alloc[node.ID] {
+			granted = append(granted, node.ID)
+		}
+	}
+	if len(granted) < n {
+		return nil, fmt.Errorf("%w: requested %d nodes, %d available", ErrInsufficient, n, len(granted))
+	}
+	for _, id := range granted {
+		m.alloc[id] = true
+	}
+	return granted, nil
+}
+
+// RequestNodes asks for extra whole nodes beyond the current allocation
+// (the paper notes on-demand allocation "is not commonplace on
+// supercomputers"; experiments therefore pre-allocate spares, but the
+// operation exists for completeness). It returns the granted node IDs.
+func (m *Manager) RequestNodes(n int) ([]cluster.NodeID, error) { return m.Allocate(n) }
+
+// ReleaseNodes returns whole nodes to the cluster. Nodes with assigned
+// cores cannot be released.
+func (m *Manager) ReleaseNodes(ids []cluster.NodeID) error {
+	for _, id := range ids {
+		for owner, rs := range m.assigned {
+			if rs[id] > 0 {
+				return fmt.Errorf("resmgr: node %s still assigned to %q", id, owner)
+			}
+		}
+	}
+	for _, id := range ids {
+		delete(m.alloc, id)
+	}
+	return nil
+}
+
+// AllocatedNodes returns the job's node IDs in sorted order.
+func (m *Manager) AllocatedNodes() []cluster.NodeID {
+	ids := make([]cluster.NodeID, 0, len(m.alloc))
+	for id := range m.alloc {
+		ids = append(ids, id)
+	}
+	return cluster.SortNodeIDs(ids)
+}
+
+// Free returns the healthy, unassigned cores within the allocation.
+func (m *Manager) Free() ResourceSet {
+	free := make(ResourceSet)
+	for id := range m.alloc {
+		node := m.cluster.Node(id)
+		if node == nil || !node.Healthy() {
+			continue
+		}
+		free[id] = node.Cores
+	}
+	for _, rs := range m.assigned {
+		for id, n := range rs {
+			free[id] -= n
+			if free[id] <= 0 {
+				delete(free, id)
+			}
+		}
+	}
+	return free
+}
+
+// Assigned returns a copy of the owner's current assignment (nil if none).
+func (m *Manager) Assigned(owner string) ResourceSet {
+	rs, ok := m.assigned[owner]
+	if !ok {
+		return nil
+	}
+	return rs.Clone()
+}
+
+// Owners returns all owners with non-empty assignments, sorted.
+func (m *Manager) Owners() []string {
+	var out []string
+	for owner, rs := range m.assigned {
+		if rs.Total() > 0 {
+			out = append(out, owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assign marks rs as in use by owner, on top of any existing assignment.
+// Every core must be free, healthy, and inside the allocation.
+func (m *Manager) Assign(owner string, rs ResourceSet) error {
+	free := m.Free()
+	for id, n := range rs {
+		if !m.alloc[id] {
+			return fmt.Errorf("resmgr: node %s is outside the allocation", id)
+		}
+		if free[id] < n {
+			return fmt.Errorf("%w: %d cores on %s requested, %d free", ErrInsufficient, n, id, free[id])
+		}
+	}
+	cur, ok := m.assigned[owner]
+	if !ok {
+		cur = make(ResourceSet)
+		m.assigned[owner] = cur
+	}
+	cur.Add(rs)
+	return nil
+}
+
+// Release returns all of owner's cores to the free pool.
+func (m *Manager) Release(owner string) {
+	delete(m.assigned, owner)
+}
+
+// ReleasePartial returns rs of owner's cores to the free pool.
+func (m *Manager) ReleasePartial(owner string, rs ResourceSet) error {
+	cur, ok := m.assigned[owner]
+	if !ok {
+		return fmt.Errorf("resmgr: owner %q has no assignment", owner)
+	}
+	if err := cur.Sub(rs); err != nil {
+		return err
+	}
+	if cur.Total() == 0 {
+		delete(m.assigned, owner)
+	}
+	return nil
+}
+
+// Carve selects cores from the free pool honoring a per-node placement
+// shape: total cores overall, at most perNode on any node. perNode <= 0
+// means no per-node limit; cores are then spread round-robin across nodes
+// (the balanced placement a resized task receives when it absorbs cores
+// released across many nodes). exclude lists nodes that must not be used
+// (e.g. a node Arbitration just observed failing). Nodes are filled in
+// sorted order for determinism. The carved set is NOT assigned; callers
+// pass it to Assign.
+func (m *Manager) Carve(total, perNode int, exclude []cluster.NodeID) (ResourceSet, error) {
+	if total <= 0 {
+		return ResourceSet{}, nil
+	}
+	skip := make(map[cluster.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	free := m.Free()
+	var nodes []cluster.NodeID
+	for _, id := range free.Nodes() {
+		if !skip[id] {
+			nodes = append(nodes, id)
+		}
+	}
+	out := make(ResourceSet)
+	remaining := total
+	if perNode > 0 {
+		for _, id := range nodes {
+			n := free[id]
+			if n > perNode {
+				n = perNode
+			}
+			if n > remaining {
+				n = remaining
+			}
+			if n <= 0 {
+				continue
+			}
+			out[id] = n
+			remaining -= n
+			if remaining == 0 {
+				return out, nil
+			}
+		}
+	} else {
+		// Round-robin spread: one core per node per round.
+		for remaining > 0 {
+			progressed := false
+			for _, id := range nodes {
+				if remaining == 0 {
+					break
+				}
+				if out[id] < free[id] {
+					out[id]++
+					remaining--
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		if remaining == 0 {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: carve %d cores (per-node %d), %d short", ErrInsufficient, total, perNode, remaining)
+}
+
+// Status summarizes resource health for Arbitration's bookkeeping — the
+// backend of the `get_resource_status` low-level operation.
+type Status struct {
+	// AllocatedNodes is every node in the job allocation, sorted.
+	AllocatedNodes []cluster.NodeID
+	// UnhealthyNodes lists allocated nodes currently out of service.
+	UnhealthyNodes []cluster.NodeID
+	// FreeCores is the healthy unassigned capacity.
+	FreeCores ResourceSet
+	// AssignedCores maps each owner to its healthy assignment.
+	AssignedCores map[string]ResourceSet
+}
+
+// Status captures a point-in-time snapshot.
+func (m *Manager) Status() Status {
+	st := Status{
+		AllocatedNodes: m.AllocatedNodes(),
+		FreeCores:      m.Free(),
+		AssignedCores:  make(map[string]ResourceSet),
+	}
+	for _, id := range st.AllocatedNodes {
+		if n := m.cluster.Node(id); n != nil && !n.Healthy() {
+			st.UnhealthyNodes = append(st.UnhealthyNodes, id)
+		}
+	}
+	for owner, rs := range m.assigned {
+		st.AssignedCores[owner] = rs.Clone()
+	}
+	return st
+}

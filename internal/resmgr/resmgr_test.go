@@ -1,0 +1,261 @@
+package resmgr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyflow/internal/cluster"
+	"dyflow/internal/sim"
+)
+
+func newDT2(t *testing.T, nodes int) (*sim.Sim, *cluster.Cluster, *Manager) {
+	t.Helper()
+	s := sim.New(1)
+	c := cluster.Deepthought2(s, nodes)
+	return s, c, New(c)
+}
+
+func TestAllocateAndFree(t *testing.T) {
+	_, _, m := newDT2(t, 4)
+	ids, err := m.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("granted %d nodes, want 3", len(ids))
+	}
+	free := m.Free()
+	if free.Total() != 3*20 {
+		t.Fatalf("free = %d cores, want 60", free.Total())
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	_, _, m := newDT2(t, 2)
+	if _, err := m.Allocate(3); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestAssignReleaseRoundTrip(t *testing.T) {
+	_, _, m := newDT2(t, 2)
+	m.Allocate(2)
+	rs := ResourceSet{"node000": 10, "node001": 5}
+	if err := m.Assign("simA", rs); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Free().Total(); got != 40-15 {
+		t.Fatalf("free after assign = %d, want 25", got)
+	}
+	if got := m.Assigned("simA").Total(); got != 15 {
+		t.Fatalf("assigned = %d, want 15", got)
+	}
+	m.Release("simA")
+	if got := m.Free().Total(); got != 40 {
+		t.Fatalf("free after release = %d, want 40", got)
+	}
+	if m.Assigned("simA") != nil {
+		t.Fatal("assignment should be gone after Release")
+	}
+}
+
+func TestAssignOverFree(t *testing.T) {
+	_, _, m := newDT2(t, 1)
+	m.Allocate(1)
+	if err := m.Assign("a", ResourceSet{"node000": 21}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	if err := m.Assign("a", ResourceSet{"node000": 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("b", ResourceSet{"node000": 9}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("double-assign err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestAssignOutsideAllocation(t *testing.T) {
+	_, _, m := newDT2(t, 2)
+	m.Allocate(1)
+	if err := m.Assign("a", ResourceSet{"node001": 1}); err == nil {
+		t.Fatal("assigning outside the allocation should fail")
+	}
+}
+
+func TestReleasePartial(t *testing.T) {
+	_, _, m := newDT2(t, 1)
+	m.Allocate(1)
+	m.Assign("a", ResourceSet{"node000": 10})
+	if err := m.ReleasePartial("a", ResourceSet{"node000": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Assigned("a").Total(); got != 6 {
+		t.Fatalf("assigned = %d, want 6", got)
+	}
+	if err := m.ReleasePartial("a", ResourceSet{"node000": 7}); err == nil {
+		t.Fatal("over-release should fail")
+	}
+	if err := m.ReleasePartial("a", ResourceSet{"node000": 6}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Assigned("a") != nil {
+		t.Fatal("fully released owner should vanish")
+	}
+}
+
+func TestCarveShapes(t *testing.T) {
+	_, _, m := newDT2(t, 3)
+	m.Allocate(3)
+	// 2 per node across 3 nodes.
+	rs, err := m.Carve(6, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Total() != 6 || len(rs) != 3 {
+		t.Fatalf("carve = %v", rs)
+	}
+	for _, n := range rs {
+		if n != 2 {
+			t.Fatalf("per-node shape violated: %v", rs)
+		}
+	}
+	// Unlimited per node: spreads round-robin across nodes.
+	rs2, err := m.Carve(15, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2["node000"] != 5 || rs2["node001"] != 5 || rs2["node002"] != 5 {
+		t.Fatalf("spreading carve = %v, want 5 per node", rs2)
+	}
+}
+
+func TestCarveExcludesNodes(t *testing.T) {
+	_, _, m := newDT2(t, 2)
+	m.Allocate(2)
+	rs, err := m.Carve(20, 0, []cluster.NodeID{"node000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs["node001"] != 20 || rs["node000"] != 0 {
+		t.Fatalf("carve = %v, want all on node001", rs)
+	}
+}
+
+func TestCarveInsufficient(t *testing.T) {
+	_, _, m := newDT2(t, 1)
+	m.Allocate(1)
+	if _, err := m.Carve(21, 0, nil); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestNodeFailureTrimsAssignments(t *testing.T) {
+	_, c, m := newDT2(t, 2)
+	m.Allocate(2)
+	m.Assign("sim", ResourceSet{"node000": 10, "node001": 10})
+	m.Assign("ana", ResourceSet{"node000": 5})
+
+	type loss struct {
+		owner string
+		node  cluster.NodeID
+		lost  int
+	}
+	var losses []loss
+	m.OnResourceLoss(func(owner string, node cluster.NodeID, lost int) {
+		losses = append(losses, loss{owner, node, lost})
+	})
+	c.FailNode("node000")
+
+	if len(losses) != 2 {
+		t.Fatalf("losses = %v, want 2 owners notified", losses)
+	}
+	// Sorted owner order: ana before sim.
+	if losses[0].owner != "ana" || losses[0].lost != 5 {
+		t.Fatalf("losses[0] = %+v", losses[0])
+	}
+	if losses[1].owner != "sim" || losses[1].lost != 10 {
+		t.Fatalf("losses[1] = %+v", losses[1])
+	}
+	if got := m.Assigned("sim").Total(); got != 10 {
+		t.Fatalf("sim assignment after failure = %d, want 10 (node001 only)", got)
+	}
+	// The failed node contributes no free cores.
+	if free := m.Free(); free["node000"] != 0 {
+		t.Fatalf("free on failed node = %d, want 0", free["node000"])
+	}
+	st := m.Status()
+	if len(st.UnhealthyNodes) != 1 || st.UnhealthyNodes[0] != "node000" {
+		t.Fatalf("status unhealthy = %v", st.UnhealthyNodes)
+	}
+}
+
+func TestReleaseNodesGuard(t *testing.T) {
+	_, _, m := newDT2(t, 2)
+	m.Allocate(2)
+	m.Assign("a", ResourceSet{"node000": 1})
+	if err := m.ReleaseNodes([]cluster.NodeID{"node000"}); err == nil {
+		t.Fatal("releasing an assigned node should fail")
+	}
+	if err := m.ReleaseNodes([]cluster.NodeID{"node001"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.AllocatedNodes()); got != 1 {
+		t.Fatalf("allocation size = %d, want 1", got)
+	}
+}
+
+// Property: any sequence of valid assign/release operations conserves cores:
+// free + sum(assigned) == healthy allocated capacity, and free is never
+// negative anywhere.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		s := sim.New(seed)
+		c := cluster.Deepthought2(s, 4)
+		m := New(c)
+		m.Allocate(4)
+		owners := []string{"a", "b", "c"}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range opsRaw {
+			owner := owners[int(op)%len(owners)]
+			switch (op / 8) % 3 {
+			case 0: // assign a random carve
+				total := rng.Intn(10) + 1
+				rs, err := m.Carve(total, 0, nil)
+				if err == nil {
+					if err := m.Assign(owner, rs); err != nil {
+						return false
+					}
+				}
+			case 1:
+				m.Release(owner)
+			case 2:
+				cur := m.Assigned(owner)
+				if cur.Total() > 0 {
+					id := cur.Nodes()[0]
+					if err := m.ReleasePartial(owner, ResourceSet{id: 1}); err != nil {
+						return false
+					}
+				}
+			}
+			// Invariants.
+			capacity := 4 * 20
+			total := m.Free().Total()
+			for _, o := range owners {
+				total += m.Assigned(o).Total()
+			}
+			if total != capacity {
+				return false
+			}
+			for _, n := range m.Free() {
+				if n < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures the kernel's raw event dispatch rate.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.After(time.Millisecond, tick)
+	b.ResetTimer()
+	if err := s.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcContextSwitch measures the coroutine handoff cost (one
+// sleep-wake round trip per iteration).
+func BenchmarkProcContextSwitch(b *testing.B) {
+	s := New(1)
+	s.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueHandoff measures producer/consumer rendezvous through a
+// bounded queue.
+func BenchmarkQueueHandoff(b *testing.B) {
+	s := New(1)
+	q := NewQueue[int](s, 4)
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if q.Put(p, i) != nil {
+				return
+			}
+		}
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, err := q.Get(p); err != nil {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := s.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFanOutProcs measures scheduling many concurrent processes.
+func BenchmarkFanOutProcs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(int64(i))
+		for j := 0; j < 200; j++ {
+			d := time.Duration(j%17+1) * time.Millisecond
+			s.Spawn("w", func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					if p.Sleep(d) != nil {
+						return
+					}
+				}
+			})
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+// This file provides the synchronization primitives simulated processes
+// coordinate with: broadcast Signals, bounded FIFO Queues, and counting
+// Resources. All of them wake waiters in FIFO order through the event queue,
+// preserving determinism.
+
+// Signal is a broadcast condition: processes Wait on it and every waiter is
+// woken by the next Broadcast. There is no memory — a Broadcast with no
+// waiters is lost (latch on top of it if needed).
+type Signal struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewSignal creates a Signal bound to s.
+func NewSignal(s *Sim) *Signal { return &Signal{sim: s} }
+
+func (sig *Signal) enqueue(p *Proc) { sig.waiters = append(sig.waiters, p) }
+
+func (sig *Signal) dequeue(p *Proc) {
+	for i, w := range sig.waiters {
+		if w == p {
+			sig.waiters = append(sig.waiters[:i], sig.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every process currently waiting on the signal, in the
+// order they started waiting.
+func (sig *Signal) Broadcast() {
+	waiters := sig.waiters
+	sig.waiters = nil
+	for _, w := range waiters {
+		w.scheduleWake(nil, true)
+	}
+}
+
+// Waiters reports how many processes are currently waiting on the signal.
+func (sig *Signal) Waiters() int { return len(sig.waiters) }
+
+// Queue is a FIFO channel between simulated processes. A capacity of zero or
+// less means unbounded. Put blocks while the queue is full; Get blocks while
+// it is empty. Items are delivered in insertion order.
+type Queue[T any] struct {
+	sim      *Sim
+	cap      int
+	items    []T
+	notEmpty *Signal
+	notFull  *Signal
+	closed   bool
+}
+
+// NewQueue creates a queue with the given capacity (<= 0 for unbounded).
+func NewQueue[T any](s *Sim, capacity int) *Queue[T] {
+	return &Queue[T]{
+		sim:      s,
+		cap:      capacity,
+		notEmpty: NewSignal(s),
+		notFull:  NewSignal(s),
+	}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity (<= 0 means unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+func (q *Queue[T]) full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// ErrClosed is returned by queue operations on a closed queue.
+var ErrClosed = errorString("sim: queue closed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Close marks the queue closed: pending and future Puts fail, Gets drain the
+// remaining items and then fail.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Closed reports whether the queue has been closed.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends v, blocking the calling process while the queue is full. It
+// returns ErrClosed if the queue is (or becomes) closed, or the
+// interrupt/stop error delivered while blocked.
+func (q *Queue[T]) Put(p *Proc, v T) error {
+	for {
+		if q.closed {
+			return ErrClosed
+		}
+		if !q.full() {
+			q.items = append(q.items, v)
+			q.notEmpty.Broadcast()
+			return nil
+		}
+		if err := p.Wait(q.notFull); err != nil {
+			return err
+		}
+	}
+}
+
+// TryPut appends v without blocking. It reports whether the item was
+// accepted (false when full or closed).
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || q.full() {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Broadcast()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking the calling process
+// while the queue is empty. It returns ErrClosed once the queue is closed
+// and drained, or the interrupt/stop error delivered while blocked.
+func (q *Queue[T]) Get(p *Proc) (T, error) {
+	var zero T
+	for {
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			q.notFull.Broadcast()
+			return v, nil
+		}
+		if q.closed {
+			return zero, ErrClosed
+		}
+		if err := p.Wait(q.notEmpty); err != nil {
+			return zero, err
+		}
+	}
+}
+
+// TryGet removes and returns the oldest item without blocking. ok is false
+// when the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Broadcast()
+	return v, true
+}
+
+// Drain removes and returns all buffered items without blocking.
+func (q *Queue[T]) Drain() []T {
+	items := q.items
+	q.items = nil
+	if len(items) > 0 {
+		q.notFull.Broadcast()
+	}
+	return items
+}
+
+// Resource is a counting semaphore over identical units (e.g. CPU cores in
+// a coarse model). Acquire blocks until the requested units are available.
+// Waiters are served strictly FIFO, so a large request is not starved by a
+// stream of small ones.
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	changed  *Signal
+	pending  []*resWaiter // FIFO of outstanding Acquire requests
+}
+
+type resWaiter struct{ n int }
+
+// NewResource creates a resource with capacity total units.
+func NewResource(s *Sim, capacity int) *Resource {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Resource{sim: s, capacity: capacity, changed: NewSignal(s)}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently acquired units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Available returns the number of free units.
+func (r *Resource) Available() int { return r.capacity - r.inUse }
+
+// Acquire blocks the calling process until n units are available and claims
+// them. Requests are served FIFO. It returns the interrupt/stop error
+// delivered while blocked; on error no units are held.
+func (r *Resource) Acquire(p *Proc, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if n > r.capacity {
+		return errorString("sim: resource request exceeds capacity")
+	}
+	w := &resWaiter{n: n}
+	r.pending = append(r.pending, w)
+	for {
+		if len(r.pending) > 0 && r.pending[0] == w && r.capacity-r.inUse >= n {
+			r.inUse += n
+			r.pending = r.pending[1:]
+			r.changed.Broadcast() // later waiters may also fit
+			return nil
+		}
+		if err := p.Wait(r.changed); err != nil {
+			for i, pw := range r.pending {
+				if pw == w {
+					r.pending = append(r.pending[:i], r.pending[i+1:]...)
+					break
+				}
+			}
+			r.changed.Broadcast() // our departure may unblock the new head
+			return err
+		}
+	}
+}
+
+// TryAcquire claims n units if they are immediately available and no earlier
+// request is waiting. It reports whether the units were claimed.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(r.pending) > 0 || r.capacity-r.inUse < n {
+		return false
+	}
+	r.inUse += n
+	return true
+}
+
+// Release returns n units to the resource and wakes waiters.
+func (r *Resource) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Resource.Release below zero")
+	}
+	r.changed.Broadcast()
+}

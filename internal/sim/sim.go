@@ -1,0 +1,244 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel. It is the substrate on which the entire DYFLOW reproduction runs:
+// the simulated cluster, the simulated MPI tasks, the monitoring transport,
+// and the DYFLOW orchestration stages all advance on the kernel's virtual
+// clock.
+//
+// The kernel supports two styles of simulated activity:
+//
+//   - plain events: callbacks scheduled at an absolute or relative virtual
+//     time, executed in the kernel goroutine;
+//   - processes (Proc): goroutines that run in strict handoff with the
+//     kernel — exactly one process runs at a time, and a blocked process is
+//     resumed in event-heap order — giving SimPy-style readable process code
+//     while keeping every run fully deterministic.
+//
+// All time is virtual. Time is an absolute instant (a Duration since the
+// start of the run); durations are time.Duration. Events that fire at the
+// same instant execute in scheduling order (a monotonically increasing
+// sequence number breaks ties), so a run is a pure function of its inputs
+// and seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute instant on the virtual clock, expressed as the
+// duration elapsed since the start of the simulation.
+type Time = time.Duration
+
+// ErrInterrupted is returned from blocking process operations (Sleep, Wait,
+// queue operations, ...) when another party calls Proc.Interrupt. The cause
+// passed to Interrupt is wrapped and can be recovered with errors.Unwrap.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// ErrStopped is returned from blocking operations when the simulation is
+// shut down while the process is still blocked.
+var ErrStopped = errors.New("sim: simulation stopped")
+
+// Interrupted reports whether err originates from a Proc.Interrupt call.
+func Interrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
+
+// Event is a handle to a scheduled callback. It can be canceled before it
+// fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when popped
+	canceled bool
+}
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Time returns the virtual instant the event is scheduled to fire at.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation instance. The zero value is not usable;
+// create instances with New.
+//
+// A Sim is not safe for concurrent use: the kernel, event callbacks, and the
+// currently running process form a single logical thread of control.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	procs   map[uint64]*Proc
+	nextPID uint64
+	stopped bool
+	failure error
+	current *Proc // process currently holding the baton, nil in kernel context
+
+	// Logf, when non-nil, receives a human-readable trace of kernel
+	// activity. Intended for debugging; experiments leave it nil.
+	Logf func(format string, args ...any)
+}
+
+// New creates a simulation whose random source is seeded with seed. Two
+// simulations constructed with the same seed and driven by the same calls
+// produce identical schedules.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[uint64]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only
+// be used from kernel context or the currently running process.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// logf emits a kernel trace line if tracing is enabled.
+func (s *Sim) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf("[%12s] %s", s.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (at < Now) fires the event at the current instant instead; same-instant
+// events run in scheduling order.
+func (s *Sim) At(at Time, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant. Negative delays
+// are treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Pending reports the number of scheduled (uncanceled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// step pops and executes the next event. It reports whether an event ran.
+func (s *Sim) step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the event queue drains, the virtual clock would
+// pass until, or a process fails. A process failure (panic) is returned as
+// an error. On return the clock is at the time of the last executed event
+// (or at until if the run was cut short by the horizon — whichever applies).
+func (s *Sim) Run(until Time) error {
+	for !s.stopped && s.failure == nil {
+		if len(s.events) == 0 {
+			break
+		}
+		// Peek: do not execute events beyond the horizon.
+		next := s.events[0]
+		if next.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > until {
+			s.now = until
+			break
+		}
+		s.step()
+	}
+	return s.failure
+}
+
+// RunUntilIdle executes events until none remain or a process fails.
+func (s *Sim) RunUntilIdle() error {
+	for !s.stopped && s.failure == nil && s.step() {
+	}
+	return s.failure
+}
+
+// Stop halts the simulation: no further events execute, and every process
+// still blocked is woken with ErrStopped so its goroutine can exit.
+func (s *Sim) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	// Wake every parked process so its goroutine terminates. Resume order
+	// is by PID for determinism (not that it matters post-stop).
+	for pid := uint64(0); pid < s.nextPID; pid++ {
+		p, ok := s.procs[pid]
+		if !ok || p.done {
+			continue
+		}
+		p.forceWake(ErrStopped)
+	}
+}
+
+// fail records a fatal simulation error (e.g. a panicking process) and
+// prevents further events from executing.
+func (s *Sim) fail(err error) {
+	if s.failure == nil {
+		s.failure = err
+	}
+	s.stopped = true
+}

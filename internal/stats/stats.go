@@ -1,0 +1,273 @@
+// Package stats provides the small numerical toolkit DYFLOW's Monitor and
+// Decision stages are built on: reduction operations that summarize grouped
+// sensor readings into metrics, and sliding windows with pre-analysis
+// operations for policy history.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Op identifies a reduction operation over a set of float64 readings. The
+// names match the `reduction-operation` / history `operation` vocabulary of
+// the DYFLOW XML interface.
+type Op int
+
+const (
+	// OpMax selects the maximum reading.
+	OpMax Op = iota
+	// OpMin selects the minimum reading.
+	OpMin
+	// OpSum adds all readings.
+	OpSum
+	// OpAvg averages all readings.
+	OpAvg
+	// OpCount counts the readings.
+	OpCount
+	// OpFirst selects the first reading in arrival order (the paper's
+	// ERRORSTATUS sensor uses FIRST to read rank 0's exit code).
+	OpFirst
+	// OpLast selects the most recent reading.
+	OpLast
+	// OpMedian selects the middle reading (average of the middle two for
+	// even counts).
+	OpMedian
+	// OpStdDev computes the population standard deviation.
+	OpStdDev
+	// OpSlope fits a least-squares line through the readings (x = sample
+	// index) and returns its slope — the per-sample trend. This is the
+	// predictive extension the paper's future work sketches: a policy can
+	// fire on a growing metric before it crosses a hard limit.
+	OpSlope
+)
+
+var opNames = map[Op]string{
+	OpMax:    "MAX",
+	OpMin:    "MIN",
+	OpSum:    "SUM",
+	OpAvg:    "AVG",
+	OpCount:  "COUNT",
+	OpFirst:  "FIRST",
+	OpLast:   "LAST",
+	OpMedian: "MEDIAN",
+	OpStdDev: "STDDEV",
+	OpSlope:  "SLOPE",
+}
+
+// String returns the XML name of the operation.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// ParseOp converts an XML operation name (case-insensitive) to an Op.
+func ParseOp(name string) (Op, error) {
+	up := strings.ToUpper(strings.TrimSpace(name))
+	for op, s := range opNames {
+		if s == up {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: unknown reduction operation %q", name)
+}
+
+// Reduce applies op to values, which must be in arrival order for OpFirst
+// and OpLast to be meaningful. Reducing an empty slice returns (0, false)
+// except for OpCount, which returns (0, true).
+func Reduce(op Op, values []float64) (float64, bool) {
+	if len(values) == 0 {
+		if op == OpCount {
+			return 0, true
+		}
+		return 0, false
+	}
+	switch op {
+	case OpMax:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, true
+	case OpMin:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, true
+	case OpSum:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s, true
+	case OpAvg:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s / float64(len(values)), true
+	case OpCount:
+		return float64(len(values)), true
+	case OpFirst:
+		return values[0], true
+	case OpLast:
+		return values[len(values)-1], true
+	case OpMedian:
+		tmp := append([]float64(nil), values...)
+		sort.Float64s(tmp)
+		n := len(tmp)
+		if n%2 == 1 {
+			return tmp[n/2], true
+		}
+		return (tmp[n/2-1] + tmp[n/2]) / 2, true
+	case OpStdDev:
+		mean := 0.0
+		for _, v := range values {
+			mean += v
+		}
+		mean /= float64(len(values))
+		ss := 0.0
+		for _, v := range values {
+			d := v - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(values))), true
+	case OpSlope:
+		n := float64(len(values))
+		if len(values) < 2 {
+			return 0, true // a single reading has no trend
+		}
+		// Least squares with x = 0..n-1.
+		var sumX, sumY, sumXY, sumXX float64
+		for i, v := range values {
+			x := float64(i)
+			sumX += x
+			sumY += v
+			sumXY += x * v
+			sumXX += x * x
+		}
+		denom := n*sumXX - sumX*sumX
+		if denom == 0 {
+			return 0, true
+		}
+		return (n*sumXY - sumX*sumY) / denom, true
+	default:
+		return 0, false
+	}
+}
+
+// Window is a fixed-capacity sliding window of float64 readings, the
+// backing store for a policy's `<history window="N" operation="...">`
+// element. The zero value is unusable; create windows with NewWindow.
+type Window struct {
+	buf   []float64
+	size  int
+	head  int // index of the oldest element
+	count int
+}
+
+// NewWindow creates a window keeping the latest size readings. size must be
+// positive.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic("stats: window size must be positive")
+	}
+	return &Window{buf: make([]float64, size), size: size}
+}
+
+// Push appends v, evicting the oldest reading if the window is full.
+func (w *Window) Push(v float64) {
+	if w.count < w.size {
+		w.buf[(w.head+w.count)%w.size] = v
+		w.count++
+		return
+	}
+	w.buf[w.head] = v
+	w.head = (w.head + 1) % w.size
+}
+
+// Len returns the number of readings currently held.
+func (w *Window) Len() int { return w.count }
+
+// Size returns the window capacity.
+func (w *Window) Size() int { return w.size }
+
+// Full reports whether the window holds Size readings.
+func (w *Window) Full() bool { return w.count == w.size }
+
+// Values returns the readings in arrival order (oldest first).
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.count)
+	for i := 0; i < w.count; i++ {
+		out[i] = w.buf[(w.head+i)%w.size]
+	}
+	return out
+}
+
+// Reduce applies op over the window contents.
+func (w *Window) Reduce(op Op) (float64, bool) {
+	return Reduce(op, w.Values())
+}
+
+// Reset discards all readings.
+func (w *Window) Reset() {
+	w.head = 0
+	w.count = 0
+}
+
+// Welford is a streaming mean/variance accumulator used by the experiment
+// harness for response-time accounting.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds v into the accumulator.
+func (a *Welford) Add(v float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	d := v - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (v - a.mean)
+}
+
+// N returns the number of samples added.
+func (a *Welford) N() int { return a.n }
+
+// Mean returns the running mean (0 with no samples).
+func (a *Welford) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Welford) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Welford) Max() float64 { return a.max }
+
+// StdDev returns the population standard deviation (0 with < 2 samples).
+func (a *Welford) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}
