@@ -1,0 +1,22 @@
+# Developer targets. `make verify` is the tier-1 gate (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The simulation substrate is single-threaded by design, but the experiment
+# sweeps (internal/exp) run whole worlds in parallel goroutines — the race
+# detector covers that boundary.
+race:
+	$(GO) test -race ./internal/...
+
+verify: vet build test race

@@ -5,10 +5,11 @@
 //	dyflow-exp [-machine summit|dt2] [-seed N] [-gantt] <experiment>...
 //
 // Experiments: table1 table2 table3 figure1 figure6 figure8 figure9
-// figure11 cost overprov all
+// figure11 cost trace overprov all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +22,11 @@ import (
 )
 
 var (
-	machineFlag = flag.String("machine", "summit", "summit or dt2")
-	seedFlag    = flag.Int64("seed", 1, "simulation seed")
-	ganttFlag   = flag.Bool("gantt", false, "print Gantt charts")
-	widthFlag   = flag.Int("width", 100, "gantt chart width")
+	machineFlag   = flag.String("machine", "summit", "summit or dt2")
+	seedFlag      = flag.Int64("seed", 1, "simulation seed")
+	ganttFlag     = flag.Bool("gantt", false, "print Gantt charts")
+	widthFlag     = flag.Int("width", 100, "gantt chart width")
+	traceJSONFlag = flag.String("trace-json", "", "write the trace experiment's report as JSON to this file")
 )
 
 func machine() dyflow.Machine {
@@ -50,10 +52,11 @@ func main() {
 		"figure9":  figure9,
 		"figure11": figure11,
 		"cost":     cost,
+		"trace":    traceExp,
 		"overprov": overprov,
 		"sweep":    sweep,
 	}
-	order := []string{"table1", "figure6", "table2", "figure1", "figure8", "figure9", "table3", "figure11", "cost", "overprov"}
+	order := []string{"table1", "figure6", "table2", "figure1", "figure8", "figure9", "table3", "figure11", "cost", "trace", "overprov"}
 	for _, name := range args {
 		if name == "all" {
 			for _, n := range order {
@@ -209,6 +212,31 @@ func cost() error {
 		return err
 	}
 	dyflow.CostReport(res).Write(os.Stdout)
+	return nil
+}
+
+// traceExp renders the flight recorder's per-stage latency decomposition of
+// a Gray-Scott run — the drill-down behind the §4.6 cost analysis — and
+// optionally exports it as JSON (-trace-json).
+func traceExp() error {
+	res, err := dyflow.RunGrayScott(*seedFlag, machine(), true)
+	if err != nil {
+		return err
+	}
+	rep := res.W.Orch.Trace.Report()
+	fmt.Printf("== Flight recorder — Gray-Scott per-stage latency (%v, seed %d) ==\n", machine(), *seedFlag)
+	rep.Write(os.Stdout)
+	fmt.Println()
+	if *traceJSONFlag != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceJSONFlag, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n\n", *traceJSONFlag)
+	}
 	return nil
 }
 

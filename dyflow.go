@@ -39,6 +39,7 @@ import (
 	"dyflow/internal/exp"
 	"dyflow/internal/sim"
 	"dyflow/internal/task"
+	"dyflow/internal/trace"
 	"dyflow/internal/wms"
 )
 
@@ -72,6 +73,11 @@ type (
 	MetricKey = sensor.Key
 	// Config is a compiled orchestration specification.
 	Config = spec.Config
+	// StageReport is the flight recorder's §4.6-style per-stage latency
+	// breakdown (see System.TraceReport).
+	StageReport = trace.Report
+	// StageSpan is one suggestion's lifecycle across the four stages.
+	StageSpan = trace.Span
 )
 
 // Paper workflow builders (Tables 1-3).
@@ -150,6 +156,19 @@ func (s *System) Plans() []PlanRecord {
 		return nil
 	}
 	return s.w.Orch.Arbiter.Records()
+}
+
+// TraceReport builds the flight recorder's per-stage latency breakdown:
+// suggestion lifecycle spans (GeneratedAt → ObservedAt → DecidedAt →
+// ReceivedAt → PlannedAt → ExecutedAt), per-sensor detection lags,
+// actuation operation latencies, stage counters, and bus queue depths —
+// the reproduction of the paper's §4.6 cost analysis. Returns an empty
+// report when orchestration was never started.
+func (s *System) TraceReport() *StageReport {
+	if s.w.Orch == nil {
+		return &StageReport{}
+	}
+	return s.w.Orch.Trace.Report()
 }
 
 // TaskRunning reports whether a task currently has a live incarnation.

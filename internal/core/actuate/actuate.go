@@ -12,6 +12,7 @@ import (
 	"dyflow/internal/core/arbiter"
 	"dyflow/internal/resmgr"
 	"dyflow/internal/sim"
+	"dyflow/internal/trace"
 	"dyflow/internal/wms"
 )
 
@@ -75,6 +76,7 @@ type Executor struct {
 	plugin  Plugin
 	records []OpRecord
 	onOp    func(OpRecord)
+	tr      *trace.Recorder
 }
 
 // NewExecutor creates an Executor over the plugin.
@@ -82,6 +84,9 @@ func NewExecutor(plugin Plugin) *Executor { return &Executor{plugin: plugin} }
 
 // OnOp registers an observer invoked after each executed operation.
 func (ex *Executor) OnOp(fn func(OpRecord)) { ex.onOp = fn }
+
+// SetTracer attaches the flight recorder for per-operation latency.
+func (ex *Executor) SetTracer(tr *trace.Recorder) { ex.tr = tr }
 
 // Records returns all executed operations.
 func (ex *Executor) Records() []OpRecord { return ex.records }
@@ -103,7 +108,10 @@ func (ex *Executor) Execute(p *sim.Proc, plan arbiter.Plan) error {
 		rec.EndedAt = p.Now()
 		if err != nil {
 			rec.Err = err.Error()
+			ex.tr.Inc("actuate.failed_ops", 1)
 		}
+		ex.tr.OpExecuted(op.Kind.String(), rec.StartedAt, rec.EndedAt)
+		ex.tr.Inc("actuate.ops", 1)
 		ex.records = append(ex.records, rec)
 		if ex.onOp != nil {
 			ex.onOp(rec)

@@ -7,6 +7,7 @@ import (
 	"dyflow/internal/core/spec"
 	"dyflow/internal/msg"
 	"dyflow/internal/sim"
+	"dyflow/internal/trace"
 )
 
 // View is the arbiter's window onto the live workflow state, implemented by
@@ -36,8 +37,11 @@ type Record struct {
 	// suggestions; ReceivedAt - EventAt is the detection lag and
 	// ExecutedAt - ReceivedAt the arbitration+actuation response time.
 	EventAt sim.Time
-	Plan    Plan
-	Err     string
+	// SuggestionIDs are the lifecycle-span IDs of the suggestions this
+	// round arbitrated (after stale screening), for trace correlation.
+	SuggestionIDs []string
+	Plan          Plan
+	Err           string
 }
 
 // ResponseTime is the arbitration-to-actuation-complete duration (the
@@ -96,10 +100,15 @@ type Engine struct {
 	settleUntil sim.Time
 	started     bool
 
-	records   []Record
+	records []Record
+	// empty documents rounds whose plan came out empty (infeasible or
+	// nothing to do); kept separate so Records() still lists only executed
+	// rounds, which is what the experiment reports count.
+	empty     []Record
 	discarded int
 	onPlan    func(Record)
 	proc      *sim.Proc
+	tr        *trace.Recorder
 }
 
 // New creates the Arbitration engine reading suggestion batches from its
@@ -122,8 +131,20 @@ func New(s *sim.Sim, bus *msg.Bus, name string, cfg Config, rules map[string]*sp
 // OnPlan registers an observer for completed arbitration rounds.
 func (e *Engine) OnPlan(fn func(Record)) { e.onPlan = fn }
 
-// Records returns all arbitration rounds so far.
+// SetTracer attaches the flight recorder for suggestion-span stamping and
+// stage counters.
+func (e *Engine) SetTracer(tr *trace.Recorder) { e.tr = tr }
+
+// Records returns all executed arbitration rounds so far.
 func (e *Engine) Records() []Record { return e.records }
+
+// EmptyRecords returns the rounds whose plan was empty (infeasible or
+// nothing to do); previously these were silently dropped, hiding
+// infeasible rounds from all accounting.
+func (e *Engine) EmptyRecords() []Record { return e.empty }
+
+// EmptyRounds returns the number of empty-plan rounds.
+func (e *Engine) EmptyRounds() int { return len(e.empty) }
 
 // Discarded returns the number of suggestion batches dropped by the
 // warm-up/settle guards.
@@ -166,6 +187,14 @@ func (e *Engine) run(p *sim.Proc) {
 		// Warm-up and settle guards.
 		if now-e.startedAt < e.cfg.WarmupDelay || now < e.settleUntil {
 			e.discarded++
+			reason := "settle"
+			if now-e.startedAt < e.cfg.WarmupDelay {
+				reason = "warmup"
+			}
+			e.tr.Inc("arbiter.discarded_batches", 1)
+			for _, sg := range batch {
+				e.tr.Drop(sg.ID, reason, now)
+			}
 			continue
 		}
 		batch = e.gather(p, batch)
@@ -235,6 +264,8 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 		fresh := sgs[:0]
 		for _, sg := range sgs {
 			if st, ok := tasks[sg.AssessTask]; ok && st.StartedAt > 0 && sim.Time(sg.DecidedAt) < st.StartedAt {
+				e.tr.Drop(sg.ID, "stale", received)
+				e.tr.Inc("arbiter.stale_suggestions", 1)
 				continue
 			}
 			fresh = append(fresh, sg)
@@ -242,6 +273,13 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 		sgs = fresh
 		if len(sgs) == 0 {
 			continue
+		}
+		ids := make([]string, 0, len(sgs))
+		for _, sg := range sgs {
+			if sg.ID != "" {
+				ids = append(ids, sg.ID)
+			}
+			e.tr.Received(sg.ID, received)
 		}
 		in := PlanInput{
 			Workflow:      wf,
@@ -254,14 +292,27 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 			ImmediateKill: e.cfg.ImmediateKill,
 		}
 		plan, stillWaiting := BuildPlan(in)
+		// BuildPlan may have consumed Waiting entries (dedup, entries
+		// resolved by tasks coming back on their own) even when the plan
+		// came out empty, so the queue update must happen on every round.
+		e.waiting[wf] = stillWaiting
 
 		rec := Record{
-			Workflow:   wf,
-			ReceivedAt: received,
-			EventAt:    earliestEvent(sgs),
+			Workflow:      wf,
+			ReceivedAt:    received,
+			EventAt:       earliestEvent(sgs),
+			SuggestionIDs: ids,
 		}
 		if plan.Empty() {
-			continue // nothing feasible or nothing to do: no settle window
+			// Nothing feasible or nothing to do: no settle window, but the
+			// round must stay visible to the accounting.
+			rec.PlannedAt = e.s.Now()
+			e.empty = append(e.empty, rec)
+			e.tr.Inc("arbiter.empty_rounds", 1)
+			for _, id := range ids {
+				e.tr.Drop(id, "empty-plan", rec.PlannedAt)
+			}
+			continue
 		}
 		// Protocol computation cost.
 		if e.cfg.PlanCost > 0 {
@@ -270,13 +321,20 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 			}
 		}
 		rec.PlannedAt = e.s.Now()
-		e.waiting[wf] = stillWaiting
+		for _, id := range ids {
+			e.tr.Planned(id, rec.PlannedAt)
+		}
 
 		err := e.exec.Execute(p, plan)
 		rec.ExecutedAt = e.s.Now()
 		rec.Plan = plan
+		for _, id := range ids {
+			e.tr.Executed(id, rec.ExecutedAt)
+		}
+		e.tr.Inc("arbiter.rounds", 1)
 		if err != nil {
 			rec.Err = err.Error()
+			e.tr.Inc("arbiter.failed_rounds", 1)
 		} else if e.cfg.SettleDelay > 0 {
 			// Let the workflow settle before considering new suggestions.
 			e.settleUntil = e.s.Now() + e.cfg.SettleDelay

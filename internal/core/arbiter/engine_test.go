@@ -8,6 +8,7 @@ import (
 	"dyflow/internal/core/spec"
 	"dyflow/internal/msg"
 	"dyflow/internal/sim"
+	"dyflow/internal/trace"
 )
 
 // fakeView serves snapshots from a mutable map.
@@ -297,5 +298,77 @@ func TestDefaultConfigMatchesPaperGuards(t *testing.T) {
 	}
 	if cfg.GatherWindow != 5*time.Second {
 		t.Fatalf("gather = %v", cfg.GatherWindow)
+	}
+}
+
+func TestEmptyPlanRoundRecordedAndWaitingResolved(t *testing.T) {
+	r := newEngineRig(t, Config{WarmupDelay: time.Second, SettleDelay: time.Minute, GatherWindow: time.Second})
+	// A stale T_waiting entry: the task is already running on its own.
+	// BuildPlan resolves it even when the plan comes out empty, so the
+	// queue update must not be skipped on empty rounds.
+	r.eng.EnqueueWaiting(WaitingTask{Workflow: "W", Task: "A", Procs: 10})
+	// START for a task that is already running is a no-op: empty plan.
+	r.view.tasks["W"]["B"] = TaskState{Running: true, Procs: 10}
+	sg := decision.Suggestion{ID: "W/P#1", Workflow: "W", PolicyID: "P", Action: "START", AssessTask: "B", ActOnTasks: []string{"B"}}
+	sendSuggestions(r, 10*time.Second, sg)
+	if err := r.s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.exec.plans) != 0 {
+		t.Fatalf("plans executed = %d, want 0", len(r.exec.plans))
+	}
+	// The empty round is visible to accounting but not to Records(),
+	// which lists executed rounds only.
+	if len(r.eng.Records()) != 0 {
+		t.Fatalf("records = %+v, want none (round was empty)", r.eng.Records())
+	}
+	if r.eng.EmptyRounds() != 1 {
+		t.Fatalf("empty rounds = %d, want 1", r.eng.EmptyRounds())
+	}
+	er := r.eng.EmptyRecords()
+	if len(er) != 1 || er[0].Workflow != "W" || er[0].PlannedAt == 0 || er[0].ExecutedAt != 0 {
+		t.Fatalf("empty record = %+v", er)
+	}
+	if len(er[0].SuggestionIDs) != 1 || er[0].SuggestionIDs[0] != "W/P#1" {
+		t.Fatalf("empty record suggestion IDs = %v", er[0].SuggestionIDs)
+	}
+	if w := r.eng.Waiting("W"); len(w) != 0 {
+		t.Fatalf("waiting = %+v, want the stale entry resolved on the empty round", w)
+	}
+}
+
+func TestEngineStampsTraceSpans(t *testing.T) {
+	r := newEngineRig(t, Config{WarmupDelay: 30 * time.Second, SettleDelay: time.Minute, GatherWindow: time.Second})
+	tr := trace.New()
+	r.eng.SetTracer(tr)
+	// Spans are minted by Decision; mirror that here for two suggestions.
+	tr.Suggested("W/P#1", "W", "P", "START", "PACE", 0, 0, sim.Time(10*time.Second))
+	tr.Suggested("W/P#2", "W", "P", "START", "PACE", 0, 0, sim.Time(40*time.Second))
+
+	warm := decision.Suggestion{ID: "W/P#1", Workflow: "W", PolicyID: "P", Action: "START", AssessTask: "B", ActOnTasks: []string{"B"}}
+	live := decision.Suggestion{ID: "W/P#2", Workflow: "W", PolicyID: "P", Action: "START", AssessTask: "B", ActOnTasks: []string{"B"}}
+	sendSuggestions(r, 10*time.Second, warm) // inside warm-up: dropped
+	sendSuggestions(r, 40*time.Second, live) // arbitrated and executed
+	if err := r.s.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dropped, ok := tr.Span("W/P#1")
+	if !ok || dropped.Dropped != "warmup" {
+		t.Fatalf("warm-up span = %+v, want dropped with reason warmup", dropped)
+	}
+	done, ok := tr.Span("W/P#2")
+	if !ok || !done.Complete() {
+		t.Fatalf("executed span = %+v, want complete", done)
+	}
+	if !done.Monotone() {
+		t.Fatalf("executed span timestamps out of order: %+v", done)
+	}
+	if tr.Counter("arbiter.discarded_batches") != 1 || tr.Counter("arbiter.rounds") != 1 {
+		t.Fatalf("counters = discarded %d rounds %d, want 1 and 1",
+			tr.Counter("arbiter.discarded_batches"), tr.Counter("arbiter.rounds"))
+	}
+	recs := r.eng.Records()
+	if len(recs) != 1 || len(recs[0].SuggestionIDs) != 1 || recs[0].SuggestionIDs[0] != "W/P#2" {
+		t.Fatalf("records = %+v, want one round correlated to W/P#2", recs)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"dyflow/internal/core/spec"
 	"dyflow/internal/msg"
 	"dyflow/internal/task"
+	"dyflow/internal/trace"
 	"dyflow/internal/wms"
 )
 
@@ -53,6 +54,9 @@ type Orchestrator struct {
 	Decision *decision.Engine
 	Arbiter  *arbiter.Engine
 	Executor *actuate.Executor
+	// Trace is the flight recorder threaded through all four stages; its
+	// Report() is the §4.6 per-stage latency decomposition.
+	Trace *trace.Recorder
 
 	env *task.Env
 }
@@ -74,8 +78,10 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 		Config:  cfg,
 		Savanna: sv,
 		Bus:     bus,
+		Trace:   trace.New(),
 		env:     env,
 	}
+	bus.OnDepth = o.Trace.QueueDepth
 
 	// Monitor: server plus sharded clients.
 	o.Server = sensor.NewServer(env.Sim, bus, EndpointMonitorServer, EndpointDecision, cfg)
@@ -100,6 +106,12 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 	// Arbitration.
 	view := &savannaView{sv: sv}
 	o.Arbiter = arbiter.New(env.Sim, bus, EndpointArbiter, opts.Arbiter, cfg.Rules, view, o.Executor)
+
+	// Thread the flight recorder through all four stages.
+	o.Server.SetTracer(o.Trace)
+	o.Decision.SetTracer(o.Trace)
+	o.Arbiter.SetTracer(o.Trace)
+	o.Executor.SetTracer(o.Trace)
 
 	// Keep Decision consistent with runtime changes: a (re)started task's
 	// stale history must not immediately re-trigger policies.

@@ -6,6 +6,7 @@
 package decision
 
 import (
+	"fmt"
 	"time"
 
 	"dyflow/internal/core/sensor"
@@ -13,10 +14,14 @@ import (
 	"dyflow/internal/msg"
 	"dyflow/internal/sim"
 	"dyflow/internal/stats"
+	"dyflow/internal/trace"
 )
 
 // Suggestion is one suggested high-level action (Decision -> Arbitration).
 type Suggestion struct {
+	// ID correlates this suggestion's lifecycle span across the stages
+	// (minted here, carried through Arbitration and Actuation records).
+	ID         string            `json:"id,omitempty"`
 	Workflow   string            `json:"workflow"`
 	PolicyID   string            `json:"policy"`
 	Action     string            `json:"action"`
@@ -27,15 +32,21 @@ type Suggestion struct {
 	MetricValue float64 `json:"metric_value"`
 	// Step is the source timestep associated with the triggering metric.
 	Step int `json:"step,omitempty"`
-	// GeneratedAt is when the underlying data was produced; DecidedAt is
-	// when the policy fired. Their difference plus transport is the
-	// event-to-response-initiation lag of §4.6.
+	// GeneratedAt is when the underlying data was produced; ObservedAt is
+	// when the Monitor server forwarded the triggering metric; DecidedAt is
+	// when the policy fired. Their differences plus transport are the
+	// event-to-response-initiation lags of §4.6.
 	GeneratedAt int64 `json:"generated_at"`
+	ObservedAt  int64 `json:"observed_at,omitempty"`
 	DecidedAt   int64 `json:"decided_at"`
 }
 
 // ParsedAction returns the typed action.
 func (s *Suggestion) ParsedAction() (spec.Action, error) { return spec.ParseAction(s.Action) }
+
+// staleFactor is how many missed arrival intervals a series survives before
+// it is considered stale and stops feeding evaluations.
+const staleFactor = 3
 
 // seriesState tracks one metric series feeding a policy binding.
 type seriesState struct {
@@ -45,6 +56,29 @@ type seriesState struct {
 	genAt  sim.Time
 	step   int
 	fresh  bool // a value arrived since the last evaluation
+	// interval is the observed time between the last two arrivals; it sets
+	// the staleness horizon (zero until two arrivals have been seen).
+	interval sim.Time
+}
+
+// live reports whether the series may feed an evaluation at now: it is
+// either fresh (data arrived since the last round) or recent enough — within
+// staleFactor observed arrival intervals. A series whose producer stopped
+// (e.g. the assessed task ended) goes stale after a few missed periods
+// instead of re-firing its frozen window forever. With a single arrival the
+// cadence is unknown and the series stays live, matching the pre-horizon
+// behaviour.
+func (st *seriesState) live(now sim.Time) bool {
+	if st.fresh {
+		return true
+	}
+	if st.lastAt == 0 {
+		return false
+	}
+	if st.interval == 0 {
+		return true
+	}
+	return now-st.lastAt <= staleFactor*st.interval
 }
 
 // binding is one policy applied to one assess-task.
@@ -54,10 +88,24 @@ type binding struct {
 	series   map[sensor.Key]*seriesState
 	order    []sensor.Key // deterministic evaluation order
 	lastEval sim.Time
+	// everEval distinguishes "never evaluated" from "evaluated at t=0":
+	// lastEval alone cannot, and treating t=0 as never makes the binding
+	// re-evaluate on every tick.
+	everEval bool
 	// resetAt is the last ResetTask instant; metrics generated before it
 	// describe the previous incarnation and are dropped.
 	resetAt sim.Time
 	fired   int
+}
+
+// anyLive reports whether any series can feed an evaluation at now.
+func (b *binding) anyLive(now sim.Time) bool {
+	for _, k := range b.order {
+		if b.series[k].live(now) {
+			return true
+		}
+	}
+	return false
 }
 
 // matches reports whether the metric belongs to this binding.
@@ -99,6 +147,9 @@ func (b *binding) ingest(m sensor.Metric) {
 	if st.window != nil {
 		st.window.Push(m.Value)
 	}
+	if st.lastAt > 0 && m.ObservedAt > st.lastAt {
+		st.interval = m.ObservedAt - st.lastAt
+	}
 	st.last = m.Value
 	st.lastAt = m.ObservedAt
 	st.genAt = m.GeneratedAt
@@ -129,9 +180,11 @@ type Engine struct {
 	bindings []*binding
 	recvProc *sim.Proc
 	evalProc *sim.Proc
+	tr       *trace.Recorder
 
 	evaluations int
 	suggestions int
+	seq         int // suggestion ID counter
 }
 
 // New creates the Decision engine reading metrics from its endpoint and
@@ -157,6 +210,10 @@ func New(s *sim.Sim, bus *msg.Bus, name, out string, cfg *spec.Config) *Engine {
 	}
 	return e
 }
+
+// SetTracer attaches the flight recorder; suggestions emitted afterwards
+// open lifecycle spans on it.
+func (e *Engine) SetTracer(tr *trace.Recorder) { e.tr = tr }
 
 // Evaluations returns the number of policy evaluations performed.
 func (e *Engine) Evaluations() int { return e.evaluations }
@@ -196,6 +253,7 @@ func (e *Engine) ResetTask(workflow, taskName string) {
 				}
 				st.fresh = false
 				st.lastAt = 0
+				st.interval = 0
 			}
 		}
 	}
@@ -222,6 +280,7 @@ func (e *Engine) run(p *sim.Proc) {
 				continue
 			}
 			e.Ingest(m)
+			e.tr.Inc("decision.metrics_ingested", 1)
 		}
 	}
 }
@@ -237,6 +296,7 @@ func (e *Engine) evalLoop(p *sim.Proc) {
 		round := e.EvaluateDue()
 		if len(round) > 0 {
 			e.suggestions += len(round)
+			e.tr.Inc("decision.suggestions", int64(len(round)))
 			e.ep.Send(e.out, round)
 		}
 	}
@@ -270,19 +330,32 @@ func (e *Engine) Ingest(m sensor.Metric) {
 
 // EvaluateDue runs the evaluation condition of every binding whose
 // frequency period has elapsed and returns the suggestions of this round.
+// A binding only evaluates while at least one of its series is live —
+// fresh, or within the staleness horizon of its arrival cadence: re-firing
+// every frequency period on the same frozen window long after the assessed
+// task stopped producing data would suggest actions about a state that no
+// longer updates.
 func (e *Engine) EvaluateDue() []Suggestion {
 	now := e.s.Now()
 	var out []Suggestion
 	for _, b := range e.bindings {
-		if b.lastEval != 0 && now-b.lastEval < b.def.Frequency {
+		if b.everEval && now-b.lastEval < b.def.Frequency {
 			continue
 		}
-		if len(b.order) == 0 {
-			continue // no data yet: nothing to evaluate
+		if !b.anyLive(now) {
+			continue // every series went stale: nothing left to decide on
 		}
 		b.lastEval = now
+		b.everEval = true
 		e.evaluations++
-		if sg, ok := e.evaluate(b, now); ok {
+		e.tr.Inc("decision.evaluations", 1)
+		sg, ok := e.evaluate(b, now)
+		// The round consumed the binding's pending data; liveness now rests
+		// on the arrival cadence until the next value lands.
+		for _, k := range b.order {
+			b.series[k].fresh = false
+		}
+		if ok {
 			out = append(out, sg)
 		}
 	}
@@ -290,10 +363,13 @@ func (e *Engine) EvaluateDue() []Suggestion {
 }
 
 // evaluate applies the binding's condition over its series (in arrival
-// order); the first satisfied series produces the suggestion.
+// order); the first satisfied live series produces the suggestion.
 func (e *Engine) evaluate(b *binding, now sim.Time) (Suggestion, bool) {
 	for _, k := range b.order {
 		st := b.series[k]
+		if !st.live(now) {
+			continue // stale series: its producer stopped updating it
+		}
 		v, ok := st.value(b.def)
 		if !ok {
 			continue
@@ -302,20 +378,38 @@ func (e *Engine) evaluate(b *binding, now sim.Time) (Suggestion, bool) {
 			continue
 		}
 		b.fired++
+		e.seq++
+		id := fmt.Sprintf("%s/%s#%d", b.bind.Workflow, b.def.ID, e.seq)
+		e.tr.Suggested(id, b.bind.Workflow, b.def.ID, b.def.Action.String(), k.Sensor, st.genAt, st.lastAt, now)
 		return Suggestion{
-			Workflow:    b.bind.Workflow,
-			PolicyID:    b.def.ID,
-			Action:      b.def.Action.String(),
-			AssessTask:  b.bind.AssessTask,
-			ActOnTasks:  append([]string(nil), b.bind.ActOnTasks...),
-			Params:      b.bind.Params,
+			ID:         id,
+			Workflow:   b.bind.Workflow,
+			PolicyID:   b.def.ID,
+			Action:     b.def.Action.String(),
+			AssessTask: b.bind.AssessTask,
+			ActOnTasks: append([]string(nil), b.bind.ActOnTasks...),
+			// Copied: the compiled spec's map must not be aliased into the
+			// suggestion, where downstream stages may mutate it.
+			Params:      copyParams(b.bind.Params),
 			MetricValue: v,
 			Step:        st.step,
 			GeneratedAt: int64(st.genAt),
+			ObservedAt:  int64(st.lastAt),
 			DecidedAt:   int64(now),
 		}, true
 	}
 	return Suggestion{}, false
+}
+
+func copyParams(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // FrequencyOf exposes a policy's effective evaluation period (helper for

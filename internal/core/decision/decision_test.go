@@ -125,14 +125,14 @@ func TestHistoryAveragedEvaluation(t *testing.T) {
 
 func TestFrequencyGating(t *testing.T) {
 	s, e := newEngine(t)
-	// Above-threshold data arrives once, then the evaluator ticks every
-	// second for 11 s: with a 5 s frequency the policy fires at most every
-	// 5 s — 3 times.
-	e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, 0))
+	// Fresh above-threshold data arrives every second for 11 s and the
+	// evaluator ticks alongside: with a 5 s frequency the policy fires at
+	// most every 5 s — 3 times (t=0, 5, 10).
 	count := 0
 	for i := 0; i <= 10; i++ {
 		at := time.Duration(i) * time.Second
 		s.At(at, func() {
+			e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, s.Now()))
 			count += len(filterPolicy(e.EvaluateDue(), "INC_ON_PACE"))
 		})
 	}
@@ -402,5 +402,132 @@ func TestNodeTaskGranularityBinding(t *testing.T) {
 	}
 	if len(fired) != 1 || fired[0].MetricValue != 95 {
 		t.Fatalf("fired = %+v, want the hot node's value", fired)
+	}
+}
+
+func TestParamsNotAliasedIntoSuggestion(t *testing.T) {
+	s, e := newEngine(t)
+	e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, s.Now()))
+	got := filterPolicy(e.EvaluateDue(), "INC_ON_PACE")
+	if len(got) != 1 || got[0].Params["adjust-by"] != "20" {
+		t.Fatalf("priming suggestion = %+v", got)
+	}
+	// A downstream stage scribbling on the suggestion's params must not
+	// corrupt the compiled spec for later rounds.
+	got[0].Params["adjust-by"] = "corrupted"
+
+	s.At(6*time.Second, func() {
+		e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, s.Now()))
+		next := filterPolicy(e.EvaluateDue(), "INC_ON_PACE")
+		if len(next) != 1 {
+			t.Fatalf("second round = %+v, want 1 suggestion", next)
+		}
+		if next[0].Params["adjust-by"] != "20" {
+			t.Fatalf("params = %v, want the spec's adjust-by=20 (map was aliased)", next[0].Params)
+		}
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleSeriesStopsFiring(t *testing.T) {
+	s, e := newEngine(t)
+	// Data arrives every second for 5 s, establishing a 1 s cadence, then
+	// the producer stops (e.g. the assessed task ended). The policy may
+	// keep firing briefly — within the staleness horizon of a few missed
+	// intervals — but must go quiet afterwards instead of re-firing its
+	// frozen window every frequency period forever.
+	for i := 0; i < 5; i++ {
+		at := time.Duration(i) * time.Second
+		s.At(at, func() {
+			e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, s.Now()))
+		})
+	}
+	fires := map[time.Duration]int{}
+	for _, at := range []time.Duration{5, 10, 15, 30, 60} {
+		at := at * time.Second
+		s.At(at, func() {
+			fires[at] = len(filterPolicy(e.EvaluateDue(), "INC_ON_PACE"))
+		})
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// t=5s: last value landed 1 s ago — still live, fires.
+	if fires[5*time.Second] != 1 {
+		t.Fatalf("fires at 5s = %d, want 1 (within horizon)", fires[5*time.Second])
+	}
+	// From t=10s on the series is 6+ s past its 1 s cadence: stale.
+	for _, at := range []time.Duration{10 * time.Second, 15 * time.Second, 30 * time.Second, 60 * time.Second} {
+		if fires[at] != 0 {
+			t.Fatalf("fires at %v = %d, want 0 (series stale, producer stopped)", at, fires[at])
+		}
+	}
+}
+
+func TestSingleArrivalStaysLive(t *testing.T) {
+	s, e := newEngine(t)
+	// With only one arrival the cadence is unknown, so the series cannot
+	// be declared stale: the policy keeps firing at its frequency.
+	count := 0
+	s.At(time.Second, func() {
+		e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, s.Now()))
+	})
+	for _, at := range []time.Duration{1, 6, 11} {
+		at := at * time.Second
+		s.At(at, func() {
+			count += len(filterPolicy(e.EvaluateDue(), "INC_ON_PACE"))
+		})
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("fires = %d, want 3 (single-arrival series stays live)", count)
+	}
+}
+
+func TestNoRefireEveryTickAfterTimeZeroEval(t *testing.T) {
+	s, e := newEngine(t)
+	// A binding first evaluated at t=0 has lastEval==0; that must still
+	// count as "evaluated" so the frequency gate holds on later ticks.
+	e.Ingest(metric("GS", "Iso", "PACE", spec.GranTask, 100, 0))
+	count := len(filterPolicy(e.EvaluateDue(), "INC_ON_PACE"))
+	if count != 1 {
+		t.Fatalf("fires at t=0 = %d, want 1", count)
+	}
+	for i := 1; i <= 4; i++ {
+		at := time.Duration(i) * time.Second
+		s.At(at, func() {
+			count += len(filterPolicy(e.EvaluateDue(), "INC_ON_PACE"))
+		})
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("fires within the first frequency period = %d, want 1 (t=0 eval forgotten)", count)
+	}
+}
+
+func TestResetTaskKillsInstantaneousValue(t *testing.T) {
+	s, e := newEngine(t)
+	// SWITCH_ON_COND has no history window: it evaluates the instantaneous
+	// value. After a reset, the retained last value must not re-fire.
+	s.At(time.Second, func() {
+		e.Ingest(metric("GS", "", "NSTEPS", spec.GranWorkflow, 374, s.Now()))
+		if got := filterPolicy(e.EvaluateDue(), "SWITCH_ON_COND"); len(got) != 1 {
+			t.Fatalf("priming fire = %+v, want 1", got)
+		}
+		e.ResetTask("GS", "XGCA")
+	})
+	s.At(7*time.Second, func() {
+		if got := filterPolicy(e.EvaluateDue(), "SWITCH_ON_COND"); len(got) != 0 {
+			t.Fatalf("post-reset fire on retained value = %+v", got)
+		}
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"dyflow/internal/sim"
 	"dyflow/internal/stream"
 	"dyflow/internal/task"
+	"dyflow/internal/trace"
 )
 
 type fakeWorkload struct {
@@ -701,5 +702,46 @@ func TestDBSourceSensor(t *testing.T) {
 	}
 	if m.GeneratedAt != 5*time.Second {
 		t.Fatalf("genAt = %v, want publish time", m.GeneratedAt)
+	}
+}
+
+func TestForwardedCountsDetectionsNotRepolls(t *testing.T) {
+	cfg := compile(t, paceCfg)
+	r := newRig(t, cfg)
+	tr := trace.New()
+	r.server.SetTracer(tr)
+
+	client := r.bus.Endpoint("client0")
+	send := func(genAt time.Duration, v float64) {
+		client.Send("monitor-server", Batch{Client: "client0", Updates: []Update{
+			{Workflow: "GS", Task: "Iso", Sensor: "PACE", Granularity: "task",
+				Value: v, GeneratedAt: sim.Time(genAt)},
+		}})
+	}
+	r.s.At(1*time.Second, func() { send(1*time.Second, 10) })  // detection
+	r.s.At(2*time.Second, func() { send(1*time.Second, 10) })  // re-poll of the same data
+	r.s.At(3*time.Second, func() { send(1*time.Second, 10) })  // re-poll
+	r.s.At(4*time.Second, func() { send(4*time.Second, 20) })  // new generation: detection
+	if err := r.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All four metrics still travel to Decision; the counters split them
+	// into fresh detections vs stale re-polls, matching the lag samples.
+	if got := len(r.drainMetrics(t)); got != 4 {
+		t.Fatalf("metrics delivered = %d, want 4", got)
+	}
+	if r.server.Forwarded() != 2 {
+		t.Fatalf("forwarded = %d, want 2 detections (stale re-polls counted)", r.server.Forwarded())
+	}
+	if r.server.Repolled() != 2 {
+		t.Fatalf("repolled = %d, want 2", r.server.Repolled())
+	}
+	if lag := r.server.Lag("PACE"); lag.N() != 2 {
+		t.Fatalf("lag samples = %d, want 2 (one per detection)", lag.N())
+	}
+	if tr.Counter("monitor.forwarded") != 2 || tr.Counter("monitor.repolled") != 2 {
+		t.Fatalf("trace counters = forwarded %d repolled %d, want 2 and 2",
+			tr.Counter("monitor.forwarded"), tr.Counter("monitor.repolled"))
 	}
 }

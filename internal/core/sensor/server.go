@@ -7,6 +7,7 @@ import (
 	"dyflow/internal/msg"
 	"dyflow/internal/sim"
 	"dyflow/internal/stats"
+	"dyflow/internal/trace"
 )
 
 // Server is the Monitor stage's server half. It runs "on the launch node":
@@ -31,9 +32,11 @@ type Server struct {
 	lastGen map[Key]sim.Time
 
 	forwarded int
+	repolled  int
 	dropped   int
 	proc      *sim.Proc
 	onForward func([]Metric)
+	tr        *trace.Recorder
 }
 
 // NewServer creates the Monitor server reading from its own endpoint and
@@ -51,8 +54,19 @@ func NewServer(s *sim.Sim, bus *msg.Bus, name, out string, cfg *spec.Config) *Se
 	}
 }
 
-// Forwarded returns the number of metrics forwarded to Decision.
+// Forwarded returns the number of fresh metric detections forwarded to
+// Decision — metrics carrying a new generation time. Stale re-polls of
+// unchanged data (counted by Repolled) still travel on the wire but are
+// not detections, matching the lag accounting.
 func (sv *Server) Forwarded() int { return sv.forwarded }
+
+// Repolled returns the number of stale re-polls forwarded: metrics whose
+// underlying data had already been seen (same generation time).
+func (sv *Server) Repolled() int { return sv.repolled }
+
+// SetTracer attaches the flight recorder for stage counters and
+// per-sensor lag samples.
+func (sv *Server) SetTracer(tr *trace.Recorder) { sv.tr = tr }
 
 // OnForward registers an observer for every metric batch forwarded to the
 // Decision stage (the experiment harness records metric series from here —
@@ -98,6 +112,7 @@ func (sv *Server) run(p *sim.Proc) {
 		}
 		if !sv.filter.Admit(env) {
 			sv.dropped++
+			sv.tr.Inc("monitor.dropped_batches", 1)
 			continue
 		}
 		var batch Batch
@@ -165,11 +180,16 @@ func (sv *Server) process(batch Batch) {
 		return
 	}
 	msgs := make([]MetricMsg, len(out))
+	detections := 0
 	for i, m := range out {
 		msgs[i] = m.ToMsg()
 		if prev, seen := sv.lastGen[m.Key]; seen && prev == m.GeneratedAt {
-			continue // stale re-poll: not a detection event
+			// Stale re-poll: not a detection event, for the forwarded
+			// counter exactly as for the lag accounting.
+			sv.repolled++
+			continue
 		}
+		detections++
 		sv.lastGen[m.Key] = m.GeneratedAt
 		w, ok := sv.lags[m.Key.Sensor]
 		if !ok {
@@ -178,9 +198,12 @@ func (sv *Server) process(batch Batch) {
 		}
 		if m.ObservedAt >= m.GeneratedAt {
 			w.Add((m.ObservedAt - m.GeneratedAt).Seconds())
+			sv.tr.SensorLag(m.Key.Sensor, m.ObservedAt-m.GeneratedAt)
 		}
 	}
-	sv.forwarded += len(out)
+	sv.forwarded += detections
+	sv.tr.Inc("monitor.forwarded", int64(detections))
+	sv.tr.Inc("monitor.repolled", int64(len(out)-detections))
 	if sv.onForward != nil {
 		sv.onForward(out)
 	}

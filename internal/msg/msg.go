@@ -65,6 +65,9 @@ type Bus struct {
 	// Latency returns the delivery delay for a message from -> to. The
 	// default is zero. Jitter here is what produces out-of-order arrivals.
 	Latency func(from, to string) time.Duration
+	// OnDepth, if set, observes the destination queue depth after each
+	// delivery (the flight recorder's queue-depth sampling hook).
+	OnDepth func(to string, depth int)
 }
 
 // NewBus creates an empty bus.
@@ -116,7 +119,12 @@ func (b *Bus) send(from *Endpoint, to string, payload any) error {
 	if b.Latency != nil {
 		latency = b.Latency(from.name, to)
 	}
-	b.sim.After(latency, func() { dst.in.TryPut(env) })
+	b.sim.After(latency, func() {
+		dst.in.TryPut(env)
+		if b.OnDepth != nil {
+			b.OnDepth(to, dst.in.Len())
+		}
+	})
 	return nil
 }
 

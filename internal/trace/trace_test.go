@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+func sec(n int) sim.Time { return sim.Time(n) * sim.Time(time.Second) }
+
+// fill records a small but fully populated run: two completed spans, one
+// dropped span, sensor lags, op latencies, counters, and queue samples.
+func fill(r *Recorder) {
+	r.Suggested("W/P1#1", "W", "P1", "ADDCPU", "PACE", sec(1), sec(2), sec(3))
+	r.Received("W/P1#1", sec(4))
+	r.Planned("W/P1#1", sec(5))
+	r.Executed("W/P1#1", sec(9))
+
+	r.Suggested("W/P2#2", "W", "P2", "RMCPU", "PACE", sec(2), sec(3), sec(4))
+	r.Drop("W/P2#2", "warmup", sec(5))
+
+	r.Suggested("W/P1#3", "W", "P1", "ADDCPU", "PACE", sec(10), sec(11), sec(12))
+	r.Received("W/P1#3", sec(13))
+	r.Planned("W/P1#3", sec(14))
+	r.Executed("W/P1#3", sec(20))
+
+	r.SensorLag("PACE", sec(1))
+	r.SensorLag("PACE", sec(2))
+	r.OpExecuted("stop", sec(5), sec(8))
+	r.OpExecuted("start", sec(8), sec(9))
+	r.Inc("arbiter.rounds", 2)
+	r.Inc("decision.suggestions", 3)
+	r.QueueDepth("arbiter", 1)
+	r.QueueDepth("arbiter", 3)
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := New()
+	fill(r)
+
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	// Creation order preserved.
+	if spans[0].ID != "W/P1#1" || spans[1].ID != "W/P2#2" || spans[2].ID != "W/P1#3" {
+		t.Fatalf("span order = %v %v %v", spans[0].ID, spans[1].ID, spans[2].ID)
+	}
+	sp, ok := r.Span("W/P1#1")
+	if !ok || !sp.Complete() || !sp.Monotone() {
+		t.Fatalf("span = %+v, want complete and monotone", sp)
+	}
+	if sp.ExecutedAt != sec(9) {
+		t.Fatalf("ExecutedAt = %v, want 9s", sp.ExecutedAt)
+	}
+	dropped, ok := r.Span("W/P2#2")
+	if !ok || dropped.Dropped != "warmup" || dropped.Complete() {
+		t.Fatalf("dropped span = %+v", dropped)
+	}
+	// Drop stamps ReceivedAt when unset, keeping the span monotone.
+	if dropped.ReceivedAt != sec(5) || !dropped.Monotone() {
+		t.Fatalf("dropped span = %+v, want ReceivedAt 5s and monotone", dropped)
+	}
+}
+
+func TestMonotoneDetectsRegression(t *testing.T) {
+	sp := Span{GeneratedAt: sec(5), ObservedAt: sec(3)}
+	if sp.Monotone() {
+		t.Fatal("out-of-order span reported monotone")
+	}
+	// Zero (unstamped) stages are skipped, not treated as regressions.
+	sp = Span{GeneratedAt: sec(1), DecidedAt: sec(2), ExecutedAt: sec(3)}
+	if !sp.Monotone() {
+		t.Fatal("partially stamped span reported non-monotone")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := New()
+	r.Inc("a", 2)
+	r.Inc("a", 3)
+	if got := r.Counter("a"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Inc("x", 1)
+	r.Suggested("id", "w", "p", "a", "s", 0, 0, 0)
+	r.Received("id", 0)
+	r.Planned("id", 0)
+	r.Executed("id", 0)
+	r.Drop("id", "warmup", 0)
+	r.SensorLag("s", 0)
+	r.OpExecuted("stop", 0, 0)
+	r.QueueDepth("ep", 0)
+	if r.Counter("x") != 0 || r.Spans() != nil {
+		t.Fatal("nil recorder retained state")
+	}
+	if _, ok := r.Span("id"); ok {
+		t.Fatal("nil recorder returned a span")
+	}
+	rep := r.Report()
+	if len(rep.Spans) != 0 || len(rep.Counters) != 0 {
+		t.Fatalf("nil recorder report = %+v, want empty", rep)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []sim.Time{sec(1), sec(2), sec(3), sec(4)}
+	if got := percentile(samples, 0.50); got != sec(2) {
+		t.Fatalf("p50 = %v, want 2s", got)
+	}
+	if got := percentile(samples, 0.99); got != sec(4) {
+		t.Fatalf("p99 = %v, want 4s", got)
+	}
+	if got := percentile(nil, 0.50); got != 0 {
+		t.Fatalf("p50 of empty = %v, want 0", got)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := New()
+	fill(r)
+	rep := r.Report()
+
+	// Only P1's two completed spans contribute stage rows; the dropped P2
+	// span must not.
+	for _, st := range rep.Stages {
+		if st.Policy == "P2" {
+			t.Fatalf("dropped policy P2 appeared in stage rows: %+v", st)
+		}
+		if st.Policy == "P1" && st.Count != 2 {
+			t.Fatalf("stage %q count = %d, want 2", st.Stage, st.Count)
+		}
+	}
+	if len(rep.Stages) != len(stageNames) {
+		t.Fatalf("stage rows = %d, want %d", len(rep.Stages), len(stageNames))
+	}
+	// Span 1 total 8s, span 3 total 10s -> mean 9s.
+	for _, st := range rep.Stages {
+		if st.Stage == "total" && st.Mean != time.Duration(sec(9)) {
+			t.Fatalf("total mean = %v, want 9s", st.Mean)
+		}
+	}
+	if len(rep.SensorLags) != 1 || rep.SensorLags[0].Label != "PACE" || rep.SensorLags[0].Count != 2 {
+		t.Fatalf("sensor lags = %+v", rep.SensorLags)
+	}
+	if len(rep.Ops) != 2 || rep.Ops[0].Label != "start" || rep.Ops[1].Label != "stop" {
+		t.Fatalf("ops = %+v, want sorted [start stop]", rep.Ops)
+	}
+	if len(rep.Queues) != 1 || rep.Queues[0].MeanDepth != 2.0 || rep.Queues[0].MaxDepth != 3 {
+		t.Fatalf("queues = %+v", rep.Queues)
+	}
+}
+
+func TestReportDeterministicAndJSON(t *testing.T) {
+	render := func() []byte {
+		r := New()
+		fill(r)
+		var buf bytes.Buffer
+		r.Report().Write(&buf)
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("equal recorders rendered different reports:\n%s\n---\n%s", a, b)
+	}
+
+	r := New()
+	fill(r)
+	data, err := json.Marshal(r.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 3 || len(back.Counters) != 2 {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+}
