@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race verify chaos
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ race:
 	$(GO) test -race ./internal/...
 
 verify: vet build test race
+
+# The fault-injection suite (DESIGN.md §10): seeded kill/heal campaigns,
+# flaky carves, retry/requeue recovery — under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Campaign|Fault|Retr|Requeue|Recover|NodeDies' ./internal/...

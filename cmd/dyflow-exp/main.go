@@ -5,7 +5,7 @@
 //	dyflow-exp [-machine summit|dt2] [-seed N] [-gantt] <experiment>...
 //
 // Experiments: table1 table2 table3 figure1 figure6 figure8 figure9
-// figure11 cost trace overprov all
+// figure11 cost trace overprov chaos all
 package main
 
 import (
@@ -55,6 +55,7 @@ func main() {
 		"trace":    traceExp,
 		"overprov": overprov,
 		"sweep":    sweep,
+		"chaos":    chaos,
 	}
 	order := []string{"table1", "figure6", "table2", "figure1", "figure8", "figure9", "table3", "figure11", "cost", "trace", "overprov"}
 	for _, name := range args {
@@ -250,6 +251,23 @@ func overprov() error {
 		fmt.Println()
 	}
 	dyflow.OverProvisionReport(res).Write(os.Stdout)
+	return nil
+}
+
+// chaos runs the seeded fault-injection campaign: Gray-Scott with restart
+// policies under node kills/heals and flaky carves, reporting the recovery
+// counters and whether the workflow still converged (DESIGN.md §10).
+func chaos() error {
+	res, err := dyflow.RunChaos(*seedFlag, machine(), dyflow.DefaultChaosOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Chaos — fault-injection campaign (%v, seed %d) ==\n", machine(), *seedFlag)
+	res.Write(os.Stdout)
+	fmt.Println()
+	if !res.Converged {
+		return fmt.Errorf("chaos campaign did not converge (seed %d)", *seedFlag)
+	}
 	return nil
 }
 

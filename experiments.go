@@ -22,6 +22,10 @@ type (
 	CostResult = exp.CostResult
 	// Report is a paper-vs-measured comparison table.
 	Report = exp.Report
+	// ChaosOptions tunes the seeded fault-injection campaign.
+	ChaosOptions = exp.ChaosOptions
+	// ChaosResult summarizes one chaos campaign run.
+	ChaosResult = exp.ChaosResult
 )
 
 // Paper experiment runners and report builders.
@@ -39,6 +43,12 @@ var (
 	RunLAMMPS = exp.RunLAMMPS
 	// RunCostAnalysis derives the §4.6 cost table.
 	RunCostAnalysis = exp.RunCostAnalysis
+	// RunChaos runs Gray-Scott under a seeded node-kill/heal campaign with
+	// flaky-carve injection and reports whether it still converged (§10 of
+	// DESIGN.md).
+	RunChaos = exp.RunChaos
+	// DefaultChaosOptions is a survivable default campaign.
+	DefaultChaosOptions = exp.DefaultChaosOptions
 
 	// XGCReport and friends build paper-vs-measured tables.
 	XGCReport           = exp.XGCReport

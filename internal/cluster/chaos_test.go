@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dyflow/internal/sim"
+)
+
+func runCampaign(t *testing.T, cfg CampaignConfig, horizon time.Duration) *Campaign {
+	t.Helper()
+	s := sim.New(1)
+	c := Deepthought2(s, 4)
+	cp := NewCampaign(c, cfg)
+	if cp.Schedule() == 0 {
+		t.Fatal("no kills scheduled")
+	}
+	if err := s.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// The same seed must replay the exact same kill/heal schedule.
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := CampaignConfig{
+		Seed:        7,
+		Start:       time.Minute,
+		End:         30 * time.Minute,
+		MeanBetween: 5 * time.Minute,
+		HealAfter:   2 * time.Minute,
+	}
+	a := runCampaign(t, cfg, time.Hour).Events()
+	b := runCampaign(t, cfg, time.Hour).Events()
+	if len(a) == 0 {
+		t.Fatal("campaign fired no events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedules differ:\n%v\n%v", a, b)
+	}
+	c := runCampaign(t, CampaignConfig{
+		Seed: 8, Start: cfg.Start, End: cfg.End,
+		MeanBetween: cfg.MeanBetween, HealAfter: cfg.HealAfter,
+	}, time.Hour).Events()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCampaignHealsKilledNodes(t *testing.T) {
+	s := sim.New(1)
+	c := Deepthought2(s, 2)
+	cp := NewCampaign(c, CampaignConfig{
+		Seed: 1, Start: time.Minute, HealAfter: 5 * time.Minute,
+		Targets: []NodeID{"node001"},
+	})
+	cp.Schedule() // MeanBetween 0: exactly one kill at Start
+	s.At(2*time.Minute, func() {
+		if c.Node("node001").Healthy() {
+			t.Error("node001 should be down between kill and heal")
+		}
+	})
+	if err := s.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Node("node001").Healthy() {
+		t.Fatal("node001 not healed")
+	}
+	if cp.Kills() != 1 || cp.Heals() != 1 {
+		t.Fatalf("kills=%d heals=%d, want 1/1", cp.Kills(), cp.Heals())
+	}
+}
+
+// MaxDown caps concurrently dead nodes: kills that would exceed it are
+// skipped at fire time, keeping the cluster above a survivable floor.
+func TestCampaignMaxDownCap(t *testing.T) {
+	cp := runCampaign(t, CampaignConfig{
+		Seed:        3,
+		Start:       time.Minute,
+		End:         time.Hour,
+		MeanBetween: time.Minute,     // aggressive kills...
+		HealAfter:   30 * time.Minute, // ...with slow heals
+		MaxDown:     1,
+	}, 2*time.Hour)
+	down := 0
+	for _, ev := range cp.Events() {
+		switch ev.Kind {
+		case "kill":
+			down++
+		case "heal":
+			down--
+		}
+		if down > 1 {
+			t.Fatalf("more than MaxDown nodes dead at %v: %v", ev.At, cp.Events())
+		}
+	}
+	if cp.Kills() < 2 {
+		t.Fatalf("kills = %d, want several over the hour", cp.Kills())
+	}
+}

@@ -18,11 +18,30 @@ type View interface {
 	Snapshot(workflow string) (map[string]TaskState, int)
 }
 
+// ExecReport describes how much of a plan Actuation applied. Failed rounds
+// used to be opaque — nothing recorded which operations completed before
+// the abort — so the engine could not tell a fully-aborted round from one
+// that stopped tasks and then failed to restart them.
+type ExecReport struct {
+	// Applied counts operations fully applied before the first failure.
+	Applied int
+	// Aborted counts operations not applied: the failed operation itself
+	// plus everything after it that was never attempted.
+	Aborted int
+	// UnappliedStarts lists the START operations that did not apply (the
+	// failed one, if it was a start, and all aborted ones). The engine
+	// re-enqueues them as recovery entries of T_waiting so a task stopped
+	// by an earlier operation of the same plan is restarted on a later
+	// round instead of stranded.
+	UnappliedStarts []Op
+}
+
 // Executor applies a finalized plan; implemented by the Actuation stage.
 // Execute blocks the calling process until every operation has been applied
-// (including graceful-termination waits) or an operation fails.
+// (including graceful-termination waits) or an operation fails, and reports
+// how much of the plan took effect either way.
 type Executor interface {
-	Execute(p *sim.Proc, plan Plan) error
+	Execute(p *sim.Proc, plan Plan) (ExecReport, error)
 }
 
 // Record documents one arbitration round for the experiment harness.
@@ -42,6 +61,12 @@ type Record struct {
 	SuggestionIDs []string
 	Plan          Plan
 	Err           string
+	// AppliedOps and AbortedOps split the plan's operations into those
+	// Actuation applied and those it never finished; on successful rounds
+	// AbortedOps is zero. Failed rounds previously reported nothing here,
+	// undercounting the work half-applied plans actually did.
+	AppliedOps int
+	AbortedOps int
 }
 
 // ResponseTime is the arbitration-to-actuation-complete duration (the
@@ -60,6 +85,14 @@ type Config struct {
 	// PlanCost models the protocol's own computation time (small; the
 	// paper reports the planning share of the response as low).
 	PlanCost time.Duration
+	// FailureCooldown discards suggestions for this long after a round
+	// whose actuation failed mid-plan, so policies stop hammering a
+	// half-applied state while the recovery entries re-enqueued from the
+	// failed plan wait for the next round. It is the failure analogue of
+	// SettleDelay (which only arms on success) and is deliberately shorter:
+	// a failed round leaves tasks down, and recovery should not wait the
+	// full settle window.
+	FailureCooldown time.Duration
 	// GatherWindow is how long the engine keeps collecting further
 	// suggestions after the first one passes the guards, so that policies
 	// firing for different tasks within the same evaluation period are
@@ -77,10 +110,11 @@ type Config struct {
 // DefaultConfig returns the paper's guard settings.
 func DefaultConfig() Config {
 	return Config{
-		WarmupDelay:  2 * time.Minute,
-		SettleDelay:  2 * time.Minute,
-		PlanCost:     100 * time.Millisecond,
-		GatherWindow: 5 * time.Second,
+		WarmupDelay:     2 * time.Minute,
+		SettleDelay:     2 * time.Minute,
+		FailureCooldown: 30 * time.Second,
+		PlanCost:        100 * time.Millisecond,
+		GatherWindow:    5 * time.Second,
 	}
 }
 
@@ -325,9 +359,11 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 			e.tr.Planned(id, rec.PlannedAt)
 		}
 
-		err := e.exec.Execute(p, plan)
+		rep, err := e.exec.Execute(p, plan)
 		rec.ExecutedAt = e.s.Now()
 		rec.Plan = plan
+		rec.AppliedOps = rep.Applied
+		rec.AbortedOps = rep.Aborted
 		for _, id := range ids {
 			e.tr.Executed(id, rec.ExecutedAt)
 		}
@@ -335,6 +371,18 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 		if err != nil {
 			rec.Err = err.Error()
 			e.tr.Inc("arbiter.failed_rounds", 1)
+			// Mid-plan recovery: a START that never applied may belong to a
+			// task an earlier op of this very plan stopped — abandoning it
+			// strands the task forever (a gracefully stopped task exits 0,
+			// so no failure policy ever fires for it). Re-enqueue every
+			// unapplied START as a recovery entry of T_waiting; the next
+			// round restarts it from whatever capacity is then available.
+			e.requeue(wf, tasks, rep.UnappliedStarts)
+			if e.cfg.FailureCooldown > 0 {
+				// Stop suggestions from hammering the half-applied state,
+				// but shorter than the success settle: tasks are down.
+				e.settleUntil = e.s.Now() + e.cfg.FailureCooldown
+			}
 		} else if e.cfg.SettleDelay > 0 {
 			// Let the workflow settle before considering new suggestions.
 			e.settleUntil = e.s.Now() + e.cfg.SettleDelay
@@ -346,6 +394,30 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 		out = append(out, rec)
 	}
 	return out
+}
+
+// requeue converts the unapplied START operations of a failed round into
+// recovery entries of T_waiting. Recovery entries, unlike victim entries,
+// may start from pre-existing free capacity on the next round (see
+// BuildPlan): the plan that should have started them already released the
+// resources, so waiting for new plan-freed surplus would strand them.
+func (e *Engine) requeue(wf string, tasks map[string]TaskState, starts []Op) {
+	for _, op := range starts {
+		if isWaiting(e.waiting[wf], op.Task) {
+			continue // an entry for the task is already queued
+		}
+		st := tasks[op.Task]
+		e.waiting[wf] = append(e.waiting[wf], WaitingTask{
+			Workflow:     wf,
+			Task:         op.Task,
+			Procs:        op.Procs,
+			PerNode:      op.PerNode,
+			CoresPerProc: st.CoresPerProc,
+			Script:       op.Script,
+			Recovery:     true,
+		})
+		e.tr.Inc("arbiter.requeued_tasks", 1)
+	}
 }
 
 func earliestEvent(sgs []decision.Suggestion) sim.Time {

@@ -1,6 +1,7 @@
 package arbiter
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -32,19 +33,31 @@ type fakeExec struct {
 	opDur time.Duration
 	// apply mutates the view like a real actuation would.
 	apply func(Plan)
+	// failAfter, when >= 0, fails the plan after applying that many ops
+	// (mimicking a mid-plan actuation failure).
+	failAfter int
 }
 
-func (e *fakeExec) Execute(p *sim.Proc, plan Plan) error {
+func (e *fakeExec) Execute(p *sim.Proc, plan Plan) (ExecReport, error) {
 	if e.opDur > 0 {
 		if err := p.SleepUninterruptible(time.Duration(len(plan.Ops)) * e.opDur); err != nil {
-			return err
+			return ExecReport{Aborted: len(plan.Ops)}, err
 		}
 	}
 	e.plans = append(e.plans, plan)
 	if e.apply != nil {
 		e.apply(plan)
 	}
-	return nil
+	if e.failAfter >= 0 && e.failAfter < len(plan.Ops) {
+		rep := ExecReport{Applied: e.failAfter, Aborted: len(plan.Ops) - e.failAfter}
+		for _, op := range plan.Ops[e.failAfter:] {
+			if op.Kind == OpStart {
+				rep.UnappliedStarts = append(rep.UnappliedStarts, op)
+			}
+		}
+		return rep, fmt.Errorf("fake actuation failure at op %d", e.failAfter)
+	}
+	return ExecReport{Applied: len(plan.Ops)}, nil
 }
 
 type engineRig struct {
@@ -73,7 +86,7 @@ func newEngineRig(t *testing.T, cfg Config) *engineRig {
 		},
 		free: 100,
 	}
-	exec := &fakeExec{s: s}
+	exec := &fakeExec{s: s, failAfter: -1}
 	rules := map[string]*spec.WorkflowRules{
 		"W": {Workflow: "W", TaskPriorities: map[string]int{"A": 0, "B": 1}},
 		"V": {Workflow: "V", TaskPriorities: map[string]int{"X": 0}},
@@ -370,5 +383,90 @@ func TestEngineStampsTraceSpans(t *testing.T) {
 	recs := r.eng.Records()
 	if len(recs) != 1 || len(recs[0].SuggestionIDs) != 1 || recs[0].SuggestionIDs[0] != "W/P#2" {
 		t.Fatalf("records = %+v, want one round correlated to W/P#2", recs)
+	}
+}
+
+// A mid-plan actuation failure after the stop applied must re-enqueue the
+// unapplied START as a recovery entry, arm the failure cooldown, and
+// restart the task from free capacity on the next round — not strand it
+// (the gracefully stopped task exited 0, so no failure policy fires).
+func TestEngineRequeuesUnappliedStartsAndRecoversNextRound(t *testing.T) {
+	r := newEngineRig(t, Config{WarmupDelay: time.Second, SettleDelay: 2 * time.Minute,
+		FailureCooldown: 30 * time.Second, GatherWindow: time.Second})
+	tr := trace.New()
+	r.eng.SetTracer(tr)
+	r.exec.failAfter = 1 // apply the stop, fail the start
+	r.exec.apply = func(p Plan) {
+		for i, op := range p.Ops {
+			if r.exec.failAfter >= 0 && i >= r.exec.failAfter {
+				break // unapplied ops must not mutate the view
+			}
+			st := r.view.tasks[p.Workflow][op.Task]
+			st.Running = op.Kind == OpStart
+			if op.Kind == OpStart {
+				st.Procs = op.Procs
+			}
+			r.view.tasks[p.Workflow][op.Task] = st
+		}
+	}
+	sendSuggestions(r, 10*time.Second,
+		decision.Suggestion{Workflow: "W", PolicyID: "P", Action: "RESTART", AssessTask: "A", ActOnTasks: []string{"A"}})
+	// Inside the failure cooldown: discarded without planning.
+	sendSuggestions(r, 25*time.Second,
+		decision.Suggestion{Workflow: "W", PolicyID: "P", Action: "STOP", AssessTask: "B", ActOnTasks: []string{"B"}})
+	// Past the cooldown: actuation is healthy again, and a round that
+	// contributes no operations of its own picks up the recovery entry.
+	r.s.At(59*time.Second, func() { r.exec.failAfter = -1 })
+	sendSuggestions(r, time.Minute,
+		decision.Suggestion{Workflow: "W", PolicyID: "P", Action: "STOP", AssessTask: "B", ActOnTasks: []string{"B"}})
+	if err := r.s.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := r.eng.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %+v, want failed round + recovery round", recs)
+	}
+	if recs[0].Err == "" || recs[0].AppliedOps != 1 || recs[0].AbortedOps != 1 {
+		t.Fatalf("failed round = %+v, want 1 applied (stop), 1 aborted (start)", recs[0])
+	}
+	if recs[1].Err != "" || recs[1].AppliedOps != 1 || recs[1].AbortedOps != 0 {
+		t.Fatalf("recovery round = %+v", recs[1])
+	}
+	ops := r.exec.plans[1].Ops
+	if len(ops) != 1 || ops[0].Kind != OpStart || ops[0].Task != "A" || ops[0].Procs != 10 {
+		t.Fatalf("recovery plan = %v, want A restarted at its old size", ops)
+	}
+	if st := r.view.tasks["W"]["A"]; !st.Running {
+		t.Fatal("A still stranded after the recovery round")
+	}
+	if w := r.eng.Waiting("W"); len(w) != 0 {
+		t.Fatalf("waiting = %+v, want recovery entry consumed", w)
+	}
+	if r.eng.Discarded() != 1 {
+		t.Fatalf("discarded = %d, want 1 (the in-cooldown batch)", r.eng.Discarded())
+	}
+	if got := tr.Counter("arbiter.requeued_tasks"); got != 1 {
+		t.Fatalf("arbiter.requeued_tasks = %d, want 1", got)
+	}
+	if got := tr.Counter("arbiter.failed_rounds"); got != 1 {
+		t.Fatalf("arbiter.failed_rounds = %d, want 1", got)
+	}
+}
+
+// Requeueing must not duplicate an entry for a task already queued.
+func TestEngineRequeueDedupesWaiting(t *testing.T) {
+	r := newEngineRig(t, Config{WarmupDelay: time.Second, SettleDelay: time.Minute,
+		FailureCooldown: 10 * time.Second, GatherWindow: time.Second})
+	r.exec.failAfter = 0 // every op fails
+	sendSuggestions(r, 10*time.Second,
+		decision.Suggestion{Workflow: "W", PolicyID: "P", Action: "START", AssessTask: "B", ActOnTasks: []string{"B"}})
+	sendSuggestions(r, 30*time.Second,
+		decision.Suggestion{Workflow: "W", PolicyID: "P", Action: "START", AssessTask: "B", ActOnTasks: []string{"B"}})
+	if err := r.s.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.eng.Waiting("W"); len(w) != 1 || w[0].Task != "B" || !w[0].Recovery {
+		t.Fatalf("waiting = %+v, want exactly one recovery entry for B", w)
 	}
 }

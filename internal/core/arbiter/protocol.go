@@ -125,6 +125,12 @@ type WaitingTask struct {
 	PerNode      int
 	CoresPerProc int
 	Script       string
+	// Recovery marks an entry re-enqueued from a failed round's unapplied
+	// START operations (the task was stopped by the plan but never came
+	// back). Unlike victim entries, recovery entries may start from
+	// pre-existing free capacity — the failed plan already released their
+	// resources, so demanding fresh plan-freed surplus would strand them.
+	Recovery bool
 }
 
 // PlanInput is the snapshot Algorithm 1 runs against.
@@ -388,16 +394,24 @@ func BuildPlan(in PlanInput) (Plan, []WaitingTask) {
 	}
 
 	// --- Lines 16-18: start waiting tasks (highest priority first) while
-	// resources remain. Only resources freed BY THE PLAN count ("when
-	// resources are freed by the plan, the waiting list tasks are provided
-	// the opportunity to start"): pre-existing free capacity must not let
-	// a stray empty suggestion resurrect long-displaced tasks.
+	// resources remain. For ordinary entries only resources freed BY THE
+	// PLAN count ("when resources are freed by the plan, the waiting list
+	// tasks are provided the opportunity to start"): pre-existing free
+	// capacity must not let a stray empty suggestion resurrect
+	// long-displaced tasks. Recovery entries (re-enqueued from a failed
+	// round's unapplied starts) instead draw on the full capacity left
+	// after the plan — their resources were already released by the plan
+	// that failed to restart them.
 	surplus := 0
 	for _, e := range entries {
 		surplus += e.freed - e.need
 	}
+	avail := in.FreeCores + surplus
 	if surplus < 0 {
 		surplus = 0
+	}
+	if avail < 0 {
+		avail = 0
 	}
 	sort.SliceStable(waiting, func(i, j int) bool {
 		pi, pj := taskPri(in, waiting[i].Task), taskPri(in, waiting[j].Task)
@@ -435,7 +449,11 @@ func BuildPlan(in PlanInput) (Plan, []WaitingTask) {
 			cpp = 1
 		}
 		cores := w.Procs * cpp
-		if cores <= surplus && !inPlan(w.Task) && !in.Tasks[w.Task].Running {
+		budget := surplus
+		if w.Recovery {
+			budget = avail
+		}
+		if cores <= budget && !inPlan(w.Task) && !in.Tasks[w.Task].Running {
 			entries = append(entries, &taskOps{
 				task:  w.Task,
 				start: &Op{Kind: OpStart, Workflow: in.Workflow, Task: w.Task, Procs: w.Procs, PerNode: w.PerNode, Script: w.Script},
@@ -443,6 +461,10 @@ func BuildPlan(in PlanInput) (Plan, []WaitingTask) {
 				pri:   taskPri(in, w.Task),
 			})
 			surplus -= cores
+			if surplus < 0 {
+				surplus = 0
+			}
+			avail -= cores
 			continue
 		}
 		stillWaiting = append(stillWaiting, w)

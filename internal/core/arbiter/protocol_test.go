@@ -597,3 +597,63 @@ func TestTransitiveDependentRestart(t *testing.T) {
 		}
 	}
 }
+
+// Recovery entries of T_waiting (re-enqueued from a failed round's
+// unapplied starts) may draw on pre-existing free capacity — the failed
+// plan already released their resources. Ordinary entries must keep
+// waiting for fresh plan-freed surplus.
+func TestRecoveryWaitingStartsFromFreeCapacity(t *testing.T) {
+	in := PlanInput{
+		Workflow: "W",
+		// A STOP on a task that is not running contributes nothing to the
+		// plan; only the waiting queue can produce operations.
+		Suggestions: []decision.Suggestion{{
+			Workflow: "W", PolicyID: "P", Action: "STOP",
+			AssessTask: "C", ActOnTasks: []string{"C"},
+		}},
+		Tasks: map[string]TaskState{
+			"C":  {Running: false, Procs: 4},
+			"W1": {Running: false, Procs: 5},
+			"W2": {Running: false, Procs: 5},
+		},
+		FreeCores: 5,
+		Waiting: []WaitingTask{
+			{Workflow: "W", Task: "W1", Procs: 5},
+			{Workflow: "W", Task: "W2", Procs: 5, Recovery: true},
+		},
+	}
+	plan, waiting := BuildPlan(in)
+	if got := findOps(plan, OpStart, "W2"); len(got) != 1 || got[0].Procs != 5 {
+		t.Fatalf("recovery start = %+v, want W2@5 from free capacity", got)
+	}
+	if got := findOps(plan, OpStart, "W1"); len(got) != 0 {
+		t.Fatalf("ordinary waiting entry started without plan surplus: %+v", got)
+	}
+	if len(waiting) != 1 || waiting[0].Task != "W1" || waiting[0].Recovery {
+		t.Fatalf("waiting = %+v, want only ordinary W1 still queued", waiting)
+	}
+}
+
+// Free capacity is finite: a recovery entry larger than it stays queued.
+func TestRecoveryWaitingRespectsFreeCapacity(t *testing.T) {
+	in := PlanInput{
+		Workflow: "W",
+		Suggestions: []decision.Suggestion{{
+			Workflow: "W", PolicyID: "P", Action: "STOP",
+			AssessTask: "C", ActOnTasks: []string{"C"},
+		}},
+		Tasks: map[string]TaskState{
+			"C":  {Running: false, Procs: 4},
+			"W2": {Running: false, Procs: 50},
+		},
+		FreeCores: 5,
+		Waiting:   []WaitingTask{{Workflow: "W", Task: "W2", Procs: 50, Recovery: true}},
+	}
+	plan, waiting := BuildPlan(in)
+	if !plan.Empty() {
+		t.Fatalf("plan = %v, want empty (50 cores do not fit in 5 free)", plan.Ops)
+	}
+	if len(waiting) != 1 || !waiting[0].Recovery {
+		t.Fatalf("waiting = %+v, want the recovery entry kept", waiting)
+	}
+}

@@ -40,6 +40,9 @@ type Options struct {
 	// Arbiter configures warm-up/settle guards and plan cost; a zero value
 	// takes DefaultConfig.
 	Arbiter arbiter.Config
+	// Retry overrides Actuation's transient-failure retry budget; nil
+	// keeps actuate.DefaultRetryPolicy.
+	Retry *actuate.RetryPolicy
 	// BusLatency, if non-nil, models message transport latency.
 	BusLatency func(from, to string) time.Duration
 }
@@ -102,6 +105,9 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 
 	// Actuation: the Savanna plugin.
 	o.Executor = actuate.NewExecutor(&actuate.SavannaPlugin{SV: sv})
+	if opts.Retry != nil {
+		o.Executor.SetRetryPolicy(*opts.Retry)
+	}
 
 	// Arbitration.
 	view := &savannaView{sv: sv}
@@ -142,6 +148,11 @@ func (o *Orchestrator) Stop() {
 	o.Decision.Stop()
 	o.Arbiter.Stop()
 }
+
+// NewArbiterView exposes the Savanna-backed arbiter View for harnesses
+// that drive the Arbitration engine directly (e.g. the chaos tests, which
+// need precisely timed rounds instead of the policy pipeline).
+func NewArbiterView(sv *wms.Savanna) arbiter.View { return &savannaView{sv: sv} }
 
 // savannaWorkload adapts Savanna to the monitor clients' Workload view.
 type savannaWorkload struct{ sv *wms.Savanna }

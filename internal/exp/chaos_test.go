@@ -1,13 +1,23 @@
 package exp
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"dyflow/internal/apps"
 	"dyflow/internal/cluster"
 	"dyflow/internal/core"
+	"dyflow/internal/core/actuate"
+	"dyflow/internal/core/arbiter"
+	"dyflow/internal/core/decision"
+	"dyflow/internal/msg"
 	"dyflow/internal/resmgr"
+	"dyflow/internal/sim"
+	"dyflow/internal/task"
+	"dyflow/internal/trace"
+	"dyflow/internal/wms"
 )
 
 // conservationHolds checks the resource-manager invariant: free + assigned
@@ -30,12 +40,12 @@ func conservationHolds(t *testing.T, rm *resmgr.Manager, c *cluster.Cluster) {
 	}
 }
 
-// TestNodeFailureDuringAdaptation injects a node failure right inside the
-// first Gray-Scott adaptation window (while tasks are being stopped and
+// TestChaosNodeFailureDuringAdaptation injects a node failure right inside
+// the first Gray-Scott adaptation window (while tasks are being stopped and
 // restarted). The run cannot succeed — the scenario has no failure policy —
 // but the system must stay consistent: no simulator fault, no resource
 // leak, no task half-assigned.
-func TestNodeFailureDuringAdaptation(t *testing.T) {
+func TestChaosNodeFailureDuringAdaptation(t *testing.T) {
 	cfg := apps.GrayScottConfigFor(apps.Summit)
 	w, err := NewWorld(1, apps.Summit, cfg.Nodes)
 	if err != nil {
@@ -74,9 +84,10 @@ func TestNodeFailureDuringAdaptation(t *testing.T) {
 	}
 }
 
-// TestNodeFailureDuringAdaptationWithRecoveryPolicy adds RESTART_ON_FAILURE
-// to the same chaos scenario: the workflow must come back and finish.
-func TestNodeFailureDuringAdaptationWithRecoveryPolicy(t *testing.T) {
+// TestChaosNodeFailureDuringAdaptationWithRecoveryPolicy adds
+// RESTART_ON_FAILURE to the same chaos scenario: the workflow must come
+// back and finish.
+func TestChaosNodeFailureDuringAdaptationWithRecoveryPolicy(t *testing.T) {
 	cfg := apps.GrayScottConfigFor(apps.Summit)
 	w, err := NewWorld(1, apps.Summit, cfg.Nodes+1) // one spare node
 	if err != nil {
@@ -85,11 +96,7 @@ func TestNodeFailureDuringAdaptationWithRecoveryPolicy(t *testing.T) {
 	if err := w.SV.Compose(apps.GrayScottWorkflow(apps.Summit)); err != nil {
 		t.Fatal(err)
 	}
-	xml := GrayScottXML(apps.Summit)
-	// Splice in a STATUS sensor and a restart policy for the simulation
-	// and the bottleneck analysis chain.
-	xml = spliceRecovery(xml)
-	if err := w.StartOrchestration(xml, core.Options{}); err != nil {
+	if err := w.StartOrchestration(spliceRecovery(GrayScottXML(apps.Summit)), core.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	w.Launch(apps.GrayScottWorkflowID)
@@ -109,50 +116,210 @@ func TestNodeFailureDuringAdaptationWithRecoveryPolicy(t *testing.T) {
 	}
 }
 
-// spliceRecovery inserts a STATUS sensor, monitors, and restart policies
-// into a generated Gray-Scott orchestration document.
-func spliceRecovery(xml string) string {
-	xml = replaceOnce(xml, "</sensors>", `  <sensor id="STATUS" type="ERRORSTATUS">
-        <group-by><group granularity="task" reduction-operation="FIRST"/></group-by>
-      </sensor>
-    </sensors>`)
-	monitors := ""
-	applies := ""
-	for _, name := range []string{"GrayScott", "Isosurface", "Rendering", "FFT", "PDF_Calc"} {
-		monitors += `
-      <monitor-task name="` + name + `" workflowId="GS-WORKFLOW">
-        <use-sensor sensor-id="STATUS" info="exitcode"/>
-      </monitor-task>`
-		applies += `
-      <apply-policy policyId="RESTART_ON_FAILURE" assess-task="` + name + `">
-        <act-on-tasks>` + name + `</act-on-tasks>
-      </apply-policy>`
-	}
-	xml = replaceOnce(xml, "</monitor-tasks>", monitors+"\n    </monitor-tasks>")
-	xml = replaceOnce(xml, "</policies>", `  <policy id="RESTART_ON_FAILURE">
-        <eval operation="GT" threshold="128"/>
-        <sensors-to-use><use-sensor id="STATUS" granularity="task"/></sensors-to-use>
-        <action>RESTART</action>
-        <frequency seconds="5"/>
-      </policy>
-    </policies>`)
-	xml = replaceOnce(xml, "</apply-on>", applies+"\n    </apply-on>")
-	return xml
+// chaosBench is a small world whose arbiter is driven directly (no policy
+// pipeline), so rounds land at exact instants: A pins two nodes, B runs on
+// the third, C exists only to give later rounds a no-op suggestion.
+type chaosBench struct {
+	w    *World
+	ex   *actuate.Executor
+	eng  *arbiter.Engine
+	tr   *trace.Recorder
+	kill func(after time.Duration, id cluster.NodeID)
 }
 
-func replaceOnce(s, old, new string) string {
-	i := indexOf(s, old)
-	if i < 0 {
-		panic("splice target not found: " + old)
+func newChaosBench(t *testing.T, nodes int) *chaosBench {
+	t.Helper()
+	w, err := NewWorld(1, apps.Deepthought2, nodes)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return s[:i] + new + s[i+len(old):]
+	err = w.SV.Compose(&wms.WorkflowSpec{
+		ID: "CH",
+		Tasks: []wms.TaskConfig{
+			{Spec: task.Spec{Name: "A", Workflow: "CH",
+				Cost: task.Cost{Work: time.Hour}, TotalSteps: 3600},
+				Procs: 40, ProcsPerNode: 20, AutoStart: true},
+			{Spec: task.Spec{Name: "B", Workflow: "CH",
+				Cost: task.Cost{Work: time.Hour}, TotalSteps: 3600},
+				Procs: 20, ProcsPerNode: 20, AutoStart: true, StartScript: "warm.sh"},
+			{Spec: task.Spec{Name: "C", Workflow: "CH",
+				Cost: task.Cost{Work: time.Hour}, TotalSteps: 3600},
+				Procs: 10},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SV.RegisterScript("warm.sh", 8*time.Second)
+
+	tr := trace.New()
+	ex := actuate.NewExecutor(&actuate.SavannaPlugin{SV: w.SV})
+	ex.SetRetryPolicy(actuate.RetryPolicy{MaxAttempts: 3, Backoff: 2 * time.Second, MaxBackoff: 30 * time.Second})
+	ex.SetTracer(tr)
+	eng := arbiter.New(w.Sim, msg.NewBus(w.Sim), "arbiter", arbiter.Config{
+		PlanCost:        100 * time.Millisecond,
+		FailureCooldown: 20 * time.Second,
+	}, nil, core.NewArbiterView(w.SV), ex)
+	eng.SetTracer(tr)
+
+	w.Launch("CH")
+	b := &chaosBench{w: w, ex: ex, eng: eng, tr: tr}
+	// kill arms a node failure a fixed delay after B's graceful stop
+	// completes (= the instant its restart script starts), so the death
+	// lands mid-script regardless of drain length.
+	b.kill = func(after time.Duration, id cluster.NodeID) {
+		armed := false
+		w.SV.OnEvent(func(ev wms.Event) {
+			if armed || ev.Kind != wms.TaskEnded || ev.Task != "B" {
+				return
+			}
+			armed = true
+			w.Sim.After(after, func() { w.Cluster.FailNode(id) })
+		})
+	}
+	return b
 }
 
-func indexOf(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
+func restartB(now sim.Time) []decision.Suggestion {
+	return []decision.Suggestion{{Workflow: "CH", PolicyID: "P", Action: "RESTART",
+		AssessTask: "B", ActOnTasks: []string{"B"}, DecidedAt: int64(now)}}
+}
+
+// noop produces a non-empty batch that contributes no operations (STOP on
+// the never-started C), so a round picks up only the recovery queue.
+func noop(now sim.Time) []decision.Suggestion {
+	return []decision.Suggestion{{Workflow: "CH", PolicyID: "P", Action: "STOP",
+		AssessTask: "C", ActOnTasks: []string{"C"}, DecidedAt: int64(now)}}
+}
+
+// TestChaosMidScriptNodeDeathRetriesOntoSpareNode: the node carrying B's
+// fresh placement dies while the restart script runs. With a spare node
+// available, the retry must re-carve around the dead node — within the
+// same plan — and the round succeeds.
+func TestChaosMidScriptNodeDeathRetriesOntoSpareNode(t *testing.T) {
+	b := newChaosBench(t, 4) // node003 is spare
+	b.kill(4*time.Second, "node002")
+	b.w.Sim.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(time.Minute)
+		recs := b.eng.Arbitrate(p, restartB(p.Now()))
+		if len(recs) != 1 || recs[0].Err != "" {
+			t.Errorf("round = %+v, want success via retry", recs)
+		}
+		if recs[0].AppliedOps != 2 || recs[0].AbortedOps != 0 {
+			t.Errorf("ops accounting = %+v", recs[0])
+		}
+	})
+	if err := b.w.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !b.w.SV.TaskRunning("CH", "B") {
+		t.Fatal("B not running after in-plan retry")
+	}
+	pl := b.w.SV.Instance("CH", "B").Placement
+	if _, onDead := pl["node002"]; onDead {
+		t.Fatalf("B landed on the dead node: %v", pl)
+	}
+	if got := b.tr.Counter("actuate.recovered_ops"); got != 1 {
+		t.Fatalf("actuate.recovered_ops = %d, want 1", got)
+	}
+	if got := b.tr.Counter("arbiter.requeued_tasks"); got != 0 {
+		t.Fatalf("requeued = %d, want 0 (recovered inside the plan)", got)
+	}
+	if leaked := LeakedOwners(b.w); len(leaked) != 0 {
+		t.Fatalf("leaked assignments: %v", leaked)
+	}
+	conservationHolds(t, b.w.RM, b.w.Cluster)
+}
+
+// TestChaosMidPlanNodeDeathRequeuesAndConverges is the headline recovery
+// scenario: a node dies between a plan's STOP and START (mid-script), no
+// spare capacity exists, so the retries exhaust and the round fails with B
+// gracefully stopped (exit 0 — no failure policy will ever fire for it).
+// The engine must re-enqueue B as a recovery entry and restart it on the
+// next round, once the node heals. Before the recovery layer, Execute
+// aborted and forgot: B stayed stranded forever and this test fails.
+func TestChaosMidPlanNodeDeathRequeuesAndConverges(t *testing.T) {
+	b := newChaosBench(t, 3) // no spare: retries must exhaust
+	b.kill(4*time.Second, "node002")
+	b.w.Sim.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(time.Minute)
+		recs := b.eng.Arbitrate(p, restartB(p.Now()))
+		if len(recs) != 1 || recs[0].Err == "" {
+			t.Errorf("round = %+v, want mid-plan failure", recs)
+			return
+		}
+		if recs[0].AppliedOps != 1 || recs[0].AbortedOps != 1 {
+			t.Errorf("ops accounting = %+v, want stop applied, start aborted", recs[0])
+		}
+		if wt := b.eng.Waiting("CH"); len(wt) != 1 || wt[0].Task != "B" || !wt[0].Recovery {
+			t.Errorf("waiting = %+v, want B requeued for recovery", wt)
+		}
+		// B is stranded until capacity returns; heal the node, then run a
+		// round that contributes nothing of its own.
+		b.w.Cluster.RestoreNode("node002")
+		p.Sleep(30 * time.Second)
+		recs = b.eng.Arbitrate(p, noop(p.Now()))
+		if len(recs) != 1 || recs[0].Err != "" {
+			t.Errorf("recovery round = %+v", recs)
+		}
+	})
+	if err := b.w.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	inst := b.w.SV.Instance("CH", "B")
+	if inst == nil || !inst.Alive() {
+		t.Fatal("B stranded: recovery round did not restart it")
+	}
+	if inst.Incarnation != 1 {
+		t.Fatalf("B incarnation = %d, want 1 (restarted once)", inst.Incarnation)
+	}
+	if got := b.tr.Counter("arbiter.requeued_tasks"); got < 1 {
+		t.Fatalf("arbiter.requeued_tasks = %d, want >= 1", got)
+	}
+	if got := b.tr.Counter("actuate.retries"); got < 1 {
+		t.Fatalf("actuate.retries = %d, want >= 1", got)
+	}
+	if wt := b.eng.Waiting("CH"); len(wt) != 0 {
+		t.Fatalf("waiting = %+v, want drained", wt)
+	}
+	if leaked := LeakedOwners(b.w); len(leaked) != 0 {
+		t.Fatalf("leaked assignments: %v", leaked)
+	}
+	conservationHolds(t, b.w.RM, b.w.Cluster)
+}
+
+// TestChaosCampaignConverges runs the full seeded campaign (kills + heals +
+// flaky carves) across seeds: every run must converge with no leaked
+// assignment, and a replay with the same seed must be identical.
+func TestChaosCampaignConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed campaign is slow")
+	}
+	opts := DefaultChaosOptions()
+	var first *ChaosResult
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := RunChaos(seed, apps.Summit, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			var sb strings.Builder
+			res.Write(&sb)
+			t.Fatalf("seed %d did not converge:\n%s", seed, sb.String())
+		}
+		if countEvents(res.Events, "kill") == 0 {
+			t.Fatalf("seed %d: campaign fired no kills", seed)
+		}
+		if seed == 1 {
+			first = res
 		}
 	}
-	return -1
+	replay, err := RunChaos(1, apps.Summit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Events, replay.Events) || first.End != replay.End ||
+		first.Retries != replay.Retries || first.RequeuedTasks != replay.RequeuedTasks {
+		t.Fatalf("seed 1 replay diverged:\n%+v\n%+v", first, replay)
+	}
 }

@@ -12,6 +12,7 @@ package resmgr
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -103,6 +104,9 @@ type Manager struct {
 	// onResourceLoss, if set, is invoked when a node in the allocation
 	// fails, once per owner that held cores on it.
 	onResourceLoss func(owner string, node cluster.NodeID, lost int)
+	// faults, if set, injects deterministic transient failures (chaos
+	// testing).
+	faults *Faults
 }
 
 // New creates a manager over c with an empty allocation and subscribes to
@@ -177,9 +181,15 @@ func (m *Manager) Allocate(n int) ([]cluster.NodeID, error) {
 func (m *Manager) RequestNodes(n int) ([]cluster.NodeID, error) { return m.Allocate(n) }
 
 // ReleaseNodes returns whole nodes to the cluster. Nodes with assigned
-// cores cannot be released.
+// cores cannot be released, and neither can nodes that were never part of
+// the allocation — silently "releasing" a foreign node would hide a
+// bookkeeping bug in the caller. The allocation is modified only when
+// every requested node is releasable.
 func (m *Manager) ReleaseNodes(ids []cluster.NodeID) error {
 	for _, id := range ids {
+		if !m.alloc[id] {
+			return fmt.Errorf("resmgr: node %s is not in the allocation", id)
+		}
 		for owner, rs := range m.assigned {
 			if rs[id] > 0 {
 				return fmt.Errorf("resmgr: node %s still assigned to %q", id, owner)
@@ -284,6 +294,47 @@ func (m *Manager) ReleasePartial(owner string, rs ResourceSet) error {
 	return nil
 }
 
+// Faults injects deterministic, seeded transient failures into the manager
+// for chaos testing: each Carve call fails with ErrInsufficient with the
+// configured probability, exercising the retry path of Actuation exactly
+// as a resource race would. The injector draws from its own seeded RNG so
+// campaigns replay identically regardless of other randomness in the run.
+type Faults struct {
+	rng *rand.Rand
+	// CarveFailProb is the per-call probability that Carve fails.
+	CarveFailProb float64
+	injected      int
+}
+
+// NewFaults creates a seeded fault injector with the given flaky-carve
+// probability.
+func NewFaults(seed int64, carveFailProb float64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed)), CarveFailProb: carveFailProb}
+}
+
+// Injected returns how many faults have fired so far.
+func (f *Faults) Injected() int {
+	if f == nil {
+		return 0
+	}
+	return f.injected
+}
+
+// tripCarve draws one carve-failure decision.
+func (f *Faults) tripCarve() bool {
+	if f == nil || f.CarveFailProb <= 0 {
+		return false
+	}
+	if f.rng.Float64() >= f.CarveFailProb {
+		return false
+	}
+	f.injected++
+	return true
+}
+
+// InjectFaults attaches a fault injector (nil detaches).
+func (m *Manager) InjectFaults(f *Faults) { m.faults = f }
+
 // Carve selects cores from the free pool honoring a per-node placement
 // shape: total cores overall, at most perNode on any node. perNode <= 0
 // means no per-node limit; cores are then spread round-robin across nodes
@@ -295,6 +346,9 @@ func (m *Manager) ReleasePartial(owner string, rs ResourceSet) error {
 func (m *Manager) Carve(total, perNode int, exclude []cluster.NodeID) (ResourceSet, error) {
 	if total <= 0 {
 		return ResourceSet{}, nil
+	}
+	if m.faults.tripCarve() {
+		return nil, fmt.Errorf("%w: injected carve fault", ErrInsufficient)
 	}
 	skip := make(map[cluster.NodeID]bool, len(exclude))
 	for _, id := range exclude {

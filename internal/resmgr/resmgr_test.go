@@ -3,6 +3,7 @@ package resmgr
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -257,5 +258,72 @@ func TestConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ReleaseNodes must refuse node IDs that were never part of the allocation
+// — silently "releasing" a foreign node hides caller bookkeeping bugs.
+func TestReleaseNodesRejectsForeignNode(t *testing.T) {
+	_, _, m := newDT2(t, 4)
+	if _, err := m.Allocate(2); err != nil {
+		t.Fatal(err)
+	}
+	err := m.ReleaseNodes([]cluster.NodeID{"node000", "node007"})
+	if err == nil {
+		t.Fatal("releasing a foreign node must fail")
+	}
+	if !strings.Contains(err.Error(), "node007") {
+		t.Fatalf("error %q must name the foreign node", err)
+	}
+	// The failed call must not have released the legitimate node either.
+	if m.Free().Total() != 40 {
+		t.Fatalf("free = %d, want allocation untouched (40)", m.Free().Total())
+	}
+}
+
+func TestFaultsInjectCarveFailures(t *testing.T) {
+	_, _, m := newDT2(t, 2)
+	if _, err := m.Allocate(2); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaults(42, 1.0)
+	m.InjectFaults(f)
+	if _, err := m.Carve(10, 0, nil); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want injected ErrInsufficient", err)
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", f.Injected())
+	}
+	// Detaching (or a nil injector) restores normal carving.
+	m.InjectFaults(nil)
+	if _, err := m.Carve(10, 0, nil); err != nil {
+		t.Fatalf("carve after detach: %v", err)
+	}
+}
+
+// Two injectors with the same seed must trip on exactly the same draws.
+func TestFaultsDeterministicAcrossRuns(t *testing.T) {
+	trips := func(seed int64) []bool {
+		f := NewFaults(seed, 0.3)
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = f.tripCarve()
+		}
+		return out
+	}
+	a, b := trips(7), trips(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically-seeded injectors", i)
+		}
+	}
+	fired := 0
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("fired = %d/50, want a nontrivial mix at prob 0.3", fired)
 	}
 }

@@ -144,6 +144,12 @@ func (st *Stream) Attach(capacity int, mode Mode) *Reader {
 	}
 	st.nextID++
 	st.readers[r.id] = r
+	if st.closed {
+		// The producer already finished: the reader sees immediate EOF
+		// instead of blocking forever on data that will never come (the
+		// restarted-consumer recovery path).
+		r.buf.Close()
+	}
 	return r
 }
 
@@ -242,6 +248,20 @@ func (r *Registry) Open(name string) *Stream {
 	}
 	if st.closed {
 		st.reopen()
+	}
+	return st
+}
+
+// OpenRead returns the stream for a consumer, creating it if necessary but
+// — unlike Open — never reopening a closed one: only a new PRODUCER
+// incarnation resets the stream. A consumer restarted after its producer
+// completed must observe the close (and finish immediately), not resurrect
+// the stream and hang waiting for data that will never come.
+func (r *Registry) OpenRead(name string) *Stream {
+	st, ok := r.streams[name]
+	if !ok {
+		st = newStream(r.sim, name)
+		r.streams[name] = st
 	}
 	return st
 }

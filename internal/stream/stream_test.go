@@ -340,3 +340,31 @@ func TestReaderDoubleCloseAndZeroCapacity(t *testing.T) {
 		t.Fatal("reader not detached")
 	}
 }
+
+// A consumer attaching after the producer closed the stream must see
+// immediate EOF — not resurrect the stream and block forever. This is the
+// recovery path of an analysis task restarted after its producer finished.
+func TestAttachAfterCloseSeesEOF(t *testing.T) {
+	s := sim.New(1)
+	reg := NewRegistry(s)
+	st := reg.Open("gs.out")
+	st.Close()
+
+	// OpenRead must not reopen the closed stream.
+	if got := reg.OpenRead("gs.out"); got != st || !got.Closed() {
+		t.Fatal("OpenRead resurrected a closed stream")
+	}
+	// Open (the producer path) does reopen.
+	r := reg.OpenRead("gs.out").Attach(1, Block)
+	s.Spawn("late-consumer", func(p *sim.Proc) {
+		if _, err := r.Get(p); !errors.Is(err, ErrDetached) {
+			t.Errorf("late Get = %v, want ErrDetached", err)
+		}
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Open("gs.out").Closed() {
+		t.Fatal("Open must reopen for a new producer incarnation")
+	}
+}

@@ -375,7 +375,7 @@ func (in *Instance) main(p *sim.Proc) {
 		if buf <= 0 {
 			buf = 1
 		}
-		st := in.env.Streams.Open(in.Spec.ConsumesFrom)
+		st := in.env.Streams.OpenRead(in.Spec.ConsumesFrom)
 		in.consumer = st.Attach(buf, stream.Block)
 		defer in.consumer.Close()
 	}

@@ -80,6 +80,21 @@ type Event struct {
 	At       sim.Time
 }
 
+// PlacementLostError reports a start whose assigned placement was lost to
+// node failures while the user script ran. It is transient: the caller can
+// re-carve on surviving nodes, excluding the ones named here (which may
+// read healthy again by retry time if the cluster healed them).
+type PlacementLostError struct {
+	Workflow string
+	Task     string
+	// Nodes lists the assigned nodes that failed under the launch.
+	Nodes []cluster.NodeID
+}
+
+func (e *PlacementLostError) Error() string {
+	return fmt.Sprintf("wms: start %s/%s: placement lost to node failure on %v", e.Workflow, e.Task, e.Nodes)
+}
+
 // taskRT tracks the runtime of one composed task.
 type taskRT struct {
 	cfg         TaskConfig
@@ -259,15 +274,36 @@ func (sv *Savanna) StartTask(p *sim.Proc, workflowID, taskName string, rs resmgr
 	if rs.Total() == 0 {
 		return fmt.Errorf("wms: task %s/%s started with no resources", workflowID, taskName)
 	}
+	// Assign BEFORE running the user script: the carve was validated against
+	// resources at plan time, and a node failure during the (possibly long)
+	// script must surface as a placement loss on this launch — not let the
+	// launch proceed onto a carve that no longer exists, or fail with a
+	// confusing ErrInsufficient after resources were available at plan time.
+	k := key(workflowID, taskName)
+	if err := sv.rm.Assign(k, rs); err != nil {
+		return err
+	}
 	if script != "" {
 		if cost, ok := sv.scripts[script]; ok && cost > 0 {
 			if err := p.SleepUninterruptible(cost); err != nil {
+				sv.rm.Release(k)
 				return err
 			}
 		}
 	}
-	if err := sv.rm.Assign(key(workflowID, taskName), rs); err != nil {
-		return err
+	// Node deaths during the script trimmed the assignment (resourceLost);
+	// launching on the partial carve would run fewer ranks than planned.
+	// Release the remnant and report which nodes were lost so the caller
+	// can re-carve around them.
+	if held := sv.rm.Assigned(k); held.Total() != rs.Total() {
+		var lost []cluster.NodeID
+		for id, n := range rs {
+			if held[id] < n {
+				lost = append(lost, id)
+			}
+		}
+		sv.rm.Release(k)
+		return &PlacementLostError{Workflow: workflowID, Task: taskName, Nodes: cluster.SortNodeIDs(lost)}
 	}
 	cpp := rt.cfg.CoresPerProc
 	if cpp <= 0 {

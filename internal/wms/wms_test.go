@@ -1,6 +1,7 @@
 package wms
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -159,6 +160,48 @@ func TestStartScriptCostPaidInline(t *testing.T) {
 	}
 	if started != 4*time.Second {
 		t.Fatalf("StartTask returned at %v, want 4s (script cost)", started)
+	}
+}
+
+// Regression: StartTask must assign the carve BEFORE paying the script
+// cost, so a node death during the (possibly long) user script surfaces as
+// a PlacementLostError naming the dead nodes — with nothing left assigned —
+// instead of launching on a placement that no longer exists.
+func TestStartTaskNodeDiesDuringScript(t *testing.T) {
+	b := newBench(t, 2)
+	wf := simpleWF(3)
+	wf.Tasks[0].StartScript = "restart.sh"
+	wf.Tasks[0].AutoStart = false
+	b.sv.Compose(wf)
+	b.sv.RegisterScript("restart.sh", 10*time.Second)
+
+	b.s.At(5*time.Second, func() { b.c.FailNode("node001") })
+
+	b.s.Spawn("driver", func(p *sim.Proc) {
+		rs, err := b.rm.Carve(10, 5, nil)
+		if err != nil {
+			t.Errorf("carve: %v", err)
+			return
+		}
+		err = b.sv.StartTask(p, "WF", "Sim", rs, "restart.sh")
+		var pl *PlacementLostError
+		if !errors.As(err, &pl) {
+			t.Errorf("err = %v, want PlacementLostError", err)
+			return
+		}
+		if len(pl.Nodes) != 1 || pl.Nodes[0] != "node001" {
+			t.Errorf("lost nodes = %v, want [node001]", pl.Nodes)
+		}
+	})
+	if err := b.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if b.sv.TaskRunning("WF", "Sim") {
+		t.Fatal("task must not launch on a partial placement")
+	}
+	// The failed start must not leak the surviving half of the carve.
+	if owners := b.rm.Owners(); len(owners) != 0 {
+		t.Fatalf("leaked assignments: %v", owners)
 	}
 }
 
