@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos
+.PHONY: build test vet race verify chaos bench
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,12 @@ verify: vet build test race
 # flaky carves, retry/requeue recovery — under the race detector.
 chaos:
 	$(GO) test -race -run 'Chaos|Campaign|Fault|Retr|Requeue|Recover|NodeDies' ./internal/...
+
+# Micro-benchmarks on the observability hot paths (registry handles, label
+# resolution, exposition) and the bus round trip, exported as JSON for the
+# CI artifact (docs/OBSERVABILITY.md).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs/ ./internal/msg/ | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_obs.json
+	@rm bench.out
+	@echo wrote BENCH_obs.json

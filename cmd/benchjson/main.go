@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results as an artifact (BENCH_obs.json) and diff them across commits:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/... | benchjson > BENCH_obs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Package is the most recent "pkg:" line seen before the benchmark.
+	Package string `json:"package,omitempty"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present with -benchmem (-1 when absent).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// parseBench scans go-test bench output and extracts every benchmark
+// result line. Lines that are not benchmark results (ok/PASS/goos/...) are
+// skipped.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Minimum shape: Name N ns/op-value "ns/op".
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{
+			Package:     pkg,
+			Name:        name,
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		// -benchmem appends "B B/op allocs allocs/op".
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}{results}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dyflow/internal/obs
+cpu: AMD EPYC
+BenchmarkCounterInc-8    	195057232	         6.104 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVecWith-8       	29564732	        40.35 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dyflow/internal/obs	3.061s
+pkg: dyflow/internal/msg
+BenchmarkSendRecvJSON    	  123456	      9876 ns/op
+ok  	dyflow/internal/msg	1.5s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	first := got[0]
+	if first.Package != "dyflow/internal/obs" || first.Name != "BenchmarkCounterInc" {
+		t.Fatalf("first = %+v", first)
+	}
+	if first.Iterations != 195057232 || first.NsPerOp != 6.104 ||
+		first.BytesPerOp != 0 || first.AllocsPerOp != 0 {
+		t.Fatalf("first numbers = %+v", first)
+	}
+	// No -benchmem columns and no GOMAXPROCS suffix: package tracked,
+	// memory fields stay -1, name unchanged.
+	last := got[2]
+	if last.Package != "dyflow/internal/msg" || last.Name != "BenchmarkSendRecvJSON" {
+		t.Fatalf("last = %+v", last)
+	}
+	if last.BytesPerOp != -1 || last.AllocsPerOp != -1 {
+		t.Fatalf("last memory fields = %+v", last)
+	}
+}
+
+func TestParseBenchSkipsGarbage(t *testing.T) {
+	got, err := parseBench(strings.NewReader("BenchmarkBroken-8 abc 1 ns/op\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %+v from garbage", got)
+	}
+}

@@ -2,22 +2,32 @@
 // table and figure of §4 — printing paper-vs-measured comparison tables
 // and Gantt charts:
 //
-//	dyflow-exp [-machine summit|dt2] [-seed N] [-gantt] <experiment>...
+//	dyflow-exp [-machine summit|dt2] [-seed N] [-gantt] [-perfetto out.json] <experiment>...
+//	dyflow-exp serve [-addr host:port]
 //
 // Experiments: table1 table2 table3 figure1 figure6 figure8 figure9
 // figure11 cost trace overprov chaos all
+//
+// -perfetto writes a Chrome trace-event timeline of the (last) run with a
+// recorded world — load it at ui.perfetto.dev. serve steps a chaos
+// campaign while exposing /metrics (Prometheus text), /metrics.json, and
+// /trace (Perfetto JSON) over HTTP.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"dyflow"
 	"dyflow/internal/apps"
+	"dyflow/internal/cluster"
 	"dyflow/internal/exp"
+	"dyflow/internal/obs"
 	"dyflow/internal/stats"
 )
 
@@ -27,6 +37,8 @@ var (
 	ganttFlag     = flag.Bool("gantt", false, "print Gantt charts")
 	widthFlag     = flag.Int("width", 100, "gantt chart width")
 	traceJSONFlag = flag.String("trace-json", "", "write the trace experiment's report as JSON to this file")
+	perfettoFlag  = flag.String("perfetto", "", "write a Chrome trace-event (Perfetto) timeline of the run to this file")
+	addrFlag      = flag.String("addr", "127.0.0.1:8080", "serve: HTTP listen address")
 )
 
 func machine() dyflow.Machine {
@@ -41,6 +53,12 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
+	}
+	if args[0] == "serve" {
+		if err := serve(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	runs := map[string]func() error{
 		"table1":   table1,
@@ -80,6 +98,78 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dyflow-exp:", err)
 	os.Exit(1)
+}
+
+// exportPerfetto writes the run's timeline when -perfetto is set. chaos is
+// nil for fault-free experiments. Experiments call it after their run, so
+// with several experiments in one invocation the last one wins.
+func exportPerfetto(w *exp.World, chaos []cluster.CampaignEvent) error {
+	if *perfettoFlag == "" || w == nil {
+		return nil
+	}
+	f, err := os.Create(*perfettoFlag)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := exp.WritePerfetto(f, w, chaos); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n\n", *perfettoFlag)
+	return nil
+}
+
+// serve steps a chaos campaign (seed/machine from the shared flags) while
+// exposing the unified observability surface over HTTP: /metrics is the
+// Prometheus text exposition, /metrics.json the JSON snapshot, /trace the
+// Perfetto timeline of the run so far. The simulation is single-threaded,
+// so one mutex serializes sim stepping against handler reads.
+func serve() error {
+	cr, err := exp.NewChaosRun(*seedFlag, machine(), dyflow.DefaultChaosOptions())
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	locked := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			h.ServeHTTP(w, req)
+		})
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", locked(obs.MetricsHandler(cr.W.Metrics)))
+	mux.Handle("/metrics.json", locked(obs.JSONHandler(cr.W.Metrics)))
+	mux.Handle("/trace", locked(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := exp.WritePerfetto(w, cr.W, cr.Events()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})))
+
+	go func() {
+		// ~5 simulated seconds per 50ms of wall clock, so a scraper watches
+		// the campaign unfold instead of finding it already over.
+		for {
+			mu.Lock()
+			done, err := cr.Step(5 * time.Second)
+			mu.Unlock()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dyflow-exp: serve:", err)
+				return
+			}
+			if done {
+				mu.Lock()
+				cr.Result().Write(os.Stdout)
+				mu.Unlock()
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	fmt.Printf("serving /metrics /metrics.json /trace on http://%s (chaos campaign, seed %d, %v)\n",
+		*addrFlag, *seedFlag, machine())
+	return http.ListenAndServe(*addrFlag, mux)
 }
 
 func table1() error {
@@ -137,7 +227,7 @@ func figure6() error {
 		return err
 	}
 	dyflow.XGCReport(res, time.Duration(base)).Write(os.Stdout)
-	return nil
+	return exportPerfetto(res.W, nil)
 }
 
 func runGS() (*exp.GSResult, *exp.GSResult, error) {
@@ -173,7 +263,7 @@ func figure8() error {
 		fmt.Println()
 	}
 	dyflow.GrayScottReport(res, base).Write(os.Stdout)
-	return nil
+	return exportPerfetto(res.W, nil)
 }
 
 func figure9() error {
@@ -204,7 +294,7 @@ func figure11() error {
 		fmt.Println()
 	}
 	dyflow.LAMMPSReport(res).Write(os.Stdout)
-	return nil
+	return exportPerfetto(res.W, nil)
 }
 
 func cost() error {
@@ -238,7 +328,7 @@ func traceExp() error {
 		}
 		fmt.Printf("  wrote %s\n\n", *traceJSONFlag)
 	}
-	return nil
+	return exportPerfetto(res.W, nil)
 }
 
 func overprov() error {
@@ -251,7 +341,7 @@ func overprov() error {
 		fmt.Println()
 	}
 	dyflow.OverProvisionReport(res).Write(os.Stdout)
-	return nil
+	return exportPerfetto(res.W, nil)
 }
 
 // chaos runs the seeded fault-injection campaign: Gray-Scott with restart
@@ -268,7 +358,7 @@ func chaos() error {
 	if !res.Converged {
 		return fmt.Errorf("chaos campaign did not converge (seed %d)", *seedFlag)
 	}
-	return nil
+	return exportPerfetto(res.W, res.Events)
 }
 
 // sweep runs the three headline experiments across many seeds in parallel

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
 )
 
@@ -47,15 +48,25 @@ func (e CampaignEvent) String() string {
 
 // Campaign runs a seeded kill/heal schedule against a cluster.
 type Campaign struct {
-	c      *Cluster
-	cfg    CampaignConfig
-	down   int
-	events []CampaignEvent
+	c       *Cluster
+	cfg     CampaignConfig
+	down    int
+	events  []CampaignEvent
+	mEvents *obs.CounterVec // dyflow_chaos_events_total{kind}
 }
 
 // NewCampaign builds a campaign over c. Call Schedule to arm it.
 func NewCampaign(c *Cluster, cfg CampaignConfig) *Campaign {
 	return &Campaign{c: c, cfg: cfg}
+}
+
+// SetMetrics attaches a metrics registry: fired kill/heal events count
+// into dyflow_chaos_events_total{kind}.
+func (cp *Campaign) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cp.mEvents = reg.Counter("dyflow_chaos_events_total", "Fault-injection events that fired, by kind.", "kind")
 }
 
 // Schedule precomputes the kill schedule from the seed and registers the
@@ -104,6 +115,7 @@ func (cp *Campaign) scheduleKill(at sim.Time, id NodeID) {
 		}
 		cp.down++
 		cp.events = append(cp.events, CampaignEvent{At: cp.c.sim.Now(), Node: id, Kind: "kill"})
+		cp.mEvents.With("kill").Inc()
 		cp.c.FailNode(id)
 		if cp.cfg.HealAfter > 0 {
 			cp.c.sim.After(cp.cfg.HealAfter, func() {
@@ -112,6 +124,7 @@ func (cp *Campaign) scheduleKill(at sim.Time, id NodeID) {
 				}
 				cp.down--
 				cp.events = append(cp.events, CampaignEvent{At: cp.c.sim.Now(), Node: id, Kind: "heal"})
+				cp.mEvents.With("heal").Inc()
 				cp.c.RestoreNode(id)
 			})
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
 )
 
@@ -79,7 +80,7 @@ func TestCampaignMaxDownCap(t *testing.T) {
 		Seed:        3,
 		Start:       time.Minute,
 		End:         time.Hour,
-		MeanBetween: time.Minute,     // aggressive kills...
+		MeanBetween: time.Minute,      // aggressive kills...
 		HealAfter:   30 * time.Minute, // ...with slow heals
 		MaxDown:     1,
 	}, 2*time.Hour)
@@ -97,5 +98,33 @@ func TestCampaignMaxDownCap(t *testing.T) {
 	}
 	if cp.Kills() < 2 {
 		t.Fatalf("kills = %d, want several over the hour", cp.Kills())
+	}
+}
+
+// TestCampaignMetrics: fired kill/heal events count into the chaos-events
+// counter, matching the campaign's own event log.
+func TestCampaignMetrics(t *testing.T) {
+	s := sim.New(1)
+	c := Deepthought2(s, 4)
+	cp := NewCampaign(c, CampaignConfig{
+		Seed:        7,
+		Start:       time.Minute,
+		End:         30 * time.Minute,
+		MeanBetween: 5 * time.Minute,
+		HealAfter:   2 * time.Minute,
+	})
+	reg := obs.NewRegistry()
+	cp.SetMetrics(reg)
+	if cp.Schedule() == 0 {
+		t.Fatal("no kills scheduled")
+	}
+	if err := s.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Kills() == 0 || cp.Heals() == 0 {
+		t.Fatalf("campaign fired kills=%d heals=%d, want both > 0", cp.Kills(), cp.Heals())
+	}
+	if v, ok := reg.Value("dyflow_chaos_events_total"); !ok || v != float64(cp.Kills()+cp.Heals()) {
+		t.Fatalf("chaos events = %v (ok=%v), want %d", v, ok, cp.Kills()+cp.Heals())
 	}
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"dyflow/internal/core/actuate"
@@ -16,6 +17,7 @@ import (
 	"dyflow/internal/core/sensor"
 	"dyflow/internal/core/spec"
 	"dyflow/internal/msg"
+	"dyflow/internal/obs"
 	"dyflow/internal/task"
 	"dyflow/internal/trace"
 	"dyflow/internal/wms"
@@ -45,6 +47,10 @@ type Options struct {
 	Retry *actuate.RetryPolicy
 	// BusLatency, if non-nil, models message transport latency.
 	BusLatency func(from, to string) time.Duration
+	// Metrics is the unified metrics registry the orchestrator publishes
+	// into; nil creates a private one (always available on the
+	// Orchestrator).
+	Metrics *obs.Registry
 }
 
 // Orchestrator is a running DYFLOW service bound to one Savanna runtime.
@@ -60,6 +66,9 @@ type Orchestrator struct {
 	// Trace is the flight recorder threaded through all four stages; its
 	// Report() is the §4.6 per-stage latency decomposition.
 	Trace *trace.Recorder
+	// Metrics is the unified metrics registry: flight-recorder mirrors plus
+	// whatever substrate packages the harness wired in. Serves /metrics.
+	Metrics *obs.Registry
 
 	env *task.Env
 }
@@ -77,13 +86,18 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 	bus := msg.NewBus(env.Sim)
 	bus.Latency = opts.BusLatency
 
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
 	o := &Orchestrator{
 		Config:  cfg,
 		Savanna: sv,
 		Bus:     bus,
 		Trace:   trace.New(),
+		Metrics: opts.Metrics,
 		env:     env,
 	}
+	o.Trace.SetMetrics(o.Metrics)
 	bus.OnDepth = o.Trace.QueueDepth
 
 	// Monitor: server plus sharded clients.
@@ -97,7 +111,9 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 			}
 		}
 		name := fmt.Sprintf("monitor-client-%d", i)
-		o.Clients = append(o.Clients, sensor.NewClient(name, env, bus, EndpointMonitorServer, cfg, shard, workload, opts.SensorCosts))
+		cl := sensor.NewClient(name, env, bus, EndpointMonitorServer, cfg, shard, workload, opts.SensorCosts)
+		cl.SetSelfSource(&selfSource{o: o})
+		o.Clients = append(o.Clients, cl)
 	}
 
 	// Decision.
@@ -153,6 +169,35 @@ func (o *Orchestrator) Stop() {
 // that drive the Arbitration engine directly (e.g. the chaos tests, which
 // need precisely timed rounds instead of the policy pipeline).
 func NewArbiterView(sv *wms.Savanna) arbiter.View { return &savannaView{sv: sv} }
+
+// selfSource resolves dyflow-source sensor metric names against the
+// orchestrator's own observability state, in precedence order:
+//
+//	sensor.lag_p50:<id> / sensor.lag_p99:<id> — a sensor's detection-lag
+//	    quantile in seconds (histogram-bucket resolution)
+//	queue.max:<endpoint> — the endpoint's high-water bus queue depth
+//	<registry family name> — the summed value of a registry family
+//	    (e.g. dyflow_wms_placement_losses_total)
+//	<flight-recorder counter> — any stage counter (arbiter.requeued_tasks,
+//	    actuate.retries, ...); unknown counters read 0, so this arm always
+//	    resolves — policies on not-yet-incremented counters see 0, not a
+//	    dead sensor.
+type selfSource struct{ o *Orchestrator }
+
+func (s *selfSource) MetricValue(name string) (float64, bool) {
+	switch {
+	case strings.HasPrefix(name, "sensor.lag_p50:"):
+		return s.o.Trace.SensorLagQuantile(strings.TrimPrefix(name, "sensor.lag_p50:"), 0.50).Seconds(), true
+	case strings.HasPrefix(name, "sensor.lag_p99:"):
+		return s.o.Trace.SensorLagQuantile(strings.TrimPrefix(name, "sensor.lag_p99:"), 0.99).Seconds(), true
+	case strings.HasPrefix(name, "queue.max:"):
+		return float64(s.o.Trace.QueueMaxDepth(strings.TrimPrefix(name, "queue.max:"))), true
+	}
+	if v, ok := s.o.Metrics.Value(name); ok {
+		return v, true
+	}
+	return float64(s.o.Trace.Counter(name)), true
+}
 
 // savannaWorkload adapts Savanna to the monitor clients' Workload view.
 type savannaWorkload struct{ sv *wms.Savanna }

@@ -23,6 +23,16 @@ type Workload interface {
 	TaskRunning(workflow, taskName string) bool
 }
 
+// SelfSource resolves orchestrator self-monitoring metric names for
+// dyflow-source sensors — the Monitor stage pointed back at the
+// orchestrator itself. Implemented by the core orchestrator over its
+// metrics registry and flight recorder.
+type SelfSource interface {
+	// MetricValue returns the metric's current value. ok is false when the
+	// name resolves to nothing at all (the sensor then skips the poll).
+	MetricValue(name string) (float64, bool)
+}
+
 // Client executes the sensors bound to its share of monitored tasks and
 // ships updates to the Monitor server. One client can run per compute node
 // or a single client can cover the whole workflow; experiments use one by
@@ -36,9 +46,15 @@ type Client struct {
 	targets  []spec.MonitorTarget
 	workload Workload
 	costs    Costs
+	self     SelfSource
 	procs    []*sim.Proc
 	sent     int
 }
+
+// SetSelfSource attaches the orchestrator self-metric resolver used by
+// dyflow-source sensors. Call before Start; without one those sensors stay
+// inert.
+func (c *Client) SetSelfSource(src SelfSource) { c.self = src }
 
 // NewClient creates a monitor client named name, shipping updates to the
 // server endpoint, executing the given targets.
@@ -74,6 +90,8 @@ func (c *Client) Start() {
 				body = func(p *sim.Proc) { c.streamWorker(p, tg, use, def) }
 			case spec.SourceDiskScan, spec.SourceFile, spec.SourceErrorStatus, spec.SourceDB:
 				body = func(p *sim.Proc) { c.pollWorker(p, tg, use, def) }
+			case spec.SourceDYFLOW:
+				body = func(p *sim.Proc) { c.selfWorker(p, tg, use, def) }
 			default:
 				continue
 			}
@@ -171,6 +189,29 @@ func (c *Client) pollWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorU
 			return
 		}
 		c.ship(tg, def, readings, step, genAt)
+	}
+}
+
+// selfWorker polls an orchestrator self-metric (sensor lag, queue depth,
+// stage counters) and ships it like any other sensor reading. The
+// generation instant is the poll instant: the orchestrator's state IS the
+// data of interest, so there is no detection lag to model — which also
+// means the Monitor server counts every poll as a fresh detection.
+func (c *Client) selfWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) {
+	if c.self == nil || use.Info == "" {
+		return
+	}
+	step := 0
+	for {
+		if err := p.Sleep(c.costs.PollInterval); err != nil {
+			return
+		}
+		v, ok := c.self.MetricValue(use.Info)
+		if !ok {
+			continue
+		}
+		step++
+		c.ship(tg, def, []float64{v}, step, c.env.Sim.Now())
 	}
 }
 

@@ -718,10 +718,10 @@ func TestForwardedCountsDetectionsNotRepolls(t *testing.T) {
 				Value: v, GeneratedAt: sim.Time(genAt)},
 		}})
 	}
-	r.s.At(1*time.Second, func() { send(1*time.Second, 10) })  // detection
-	r.s.At(2*time.Second, func() { send(1*time.Second, 10) })  // re-poll of the same data
-	r.s.At(3*time.Second, func() { send(1*time.Second, 10) })  // re-poll
-	r.s.At(4*time.Second, func() { send(4*time.Second, 20) })  // new generation: detection
+	r.s.At(1*time.Second, func() { send(1*time.Second, 10) }) // detection
+	r.s.At(2*time.Second, func() { send(1*time.Second, 10) }) // re-poll of the same data
+	r.s.At(3*time.Second, func() { send(1*time.Second, 10) }) // re-poll
+	r.s.At(4*time.Second, func() { send(4*time.Second, 20) }) // new generation: detection
 	if err := r.s.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}

@@ -318,8 +318,15 @@ func compileTargets(m *MonitorX, cfg *Config, errs *errorList) {
 			InfoSource: mt.InfoSource,
 		}
 		for _, us := range mt.UseSensors {
-			if _, ok := cfg.Sensors[us.SensorID]; !ok {
+			sd, ok := cfg.Sensors[us.SensorID]
+			if !ok {
 				errs.addf("monitor-task %q uses unknown sensor %q", mt.Name, us.SensorID)
+				continue
+			}
+			// A dyflow self-monitoring sensor reads the orchestrator metric
+			// named by info; without it there is nothing to poll.
+			if sd.Source == SourceDYFLOW && strings.TrimSpace(us.Info) == "" {
+				errs.addf("monitor-task %q: dyflow-source sensor %q requires info naming an orchestrator metric", mt.Name, us.SensorID)
 				continue
 			}
 			params := make(map[string]string, len(us.Params))

@@ -75,6 +75,10 @@ type ChaosResult struct {
 	GSIncarnation int
 	Leaked        []string
 	End           sim.Time
+
+	// W is the world the campaign ran in, kept so callers can render the
+	// run (Perfetto timeline, Gantt, /metrics) after the fact.
+	W *World
 }
 
 // Write renders the campaign report.
@@ -104,11 +108,27 @@ func countEvents(evs []cluster.CampaignEvent, kind string) int {
 	return n
 }
 
-// RunChaos runs the Gray-Scott scenario with restart policies under a
-// seeded kill/heal campaign and flaky-carve injection, and checks that the
-// workflow still converges with no leaked resource assignment. The same
-// seed replays the same campaign.
-func RunChaos(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosResult, error) {
+// ChaosRun is an in-flight chaos campaign that can be advanced
+// incrementally — `dyflow-exp serve` steps it between HTTP scrapes so
+// /metrics and /trace show a live run. RunChaos drives one to completion.
+type ChaosRun struct {
+	W        *World
+	seed     int64
+	m        apps.Machine
+	opts     ChaosOptions
+	campaign *cluster.Campaign
+	faults   *resmgr.Faults
+
+	scheduled int
+	end       sim.Time
+	done      bool
+}
+
+// NewChaosRun builds the Gray-Scott chaos world — restart policies spliced
+// into the orchestration, seeded kill/heal campaign scheduled, flaky
+// carves injected — and launches the workflow. The same seed replays the
+// same campaign.
+func NewChaosRun(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosRun, error) {
 	cfg := apps.GrayScottConfigFor(m)
 	w, err := NewWorld(seed, m, cfg.Nodes+opts.SpareNodes)
 	if err != nil {
@@ -134,39 +154,63 @@ func RunChaos(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosResult, erro
 		HealAfter:   opts.HealAfter,
 		MaxDown:     opts.MaxDown,
 	})
-	scheduled := campaign.Schedule()
-
-	w.Launch(apps.GrayScottWorkflowID)
-	// RunUntilWorkflowDone's short idle grace would read a crash-recovery
-	// gap (which can span the whole settle window) as completion; under
-	// chaos, completion means the simulation actually finished its steps
-	// and every task wound down.
-	end := sim.Time(0)
-	for w.Sim.Now() < opts.Horizon {
-		if err := w.Sim.Run(w.Sim.Now() + 5*time.Second); err != nil {
-			return nil, err
-		}
-		gs := w.SV.Instance(apps.GrayScottWorkflowID, "GrayScott")
-		if gs != nil && gs.State().String() == "Completed" && w.WorkflowDone(apps.GrayScottWorkflowID) {
-			end = w.Sim.Now()
-			break
-		}
-		if w.Sim.Pending() == 0 {
-			break
-		}
+	campaign.SetMetrics(w.Metrics)
+	cr := &ChaosRun{
+		W: w, seed: seed, m: m, opts: opts,
+		campaign:  campaign,
+		faults:    faults,
+		scheduled: campaign.Schedule(),
 	}
+	w.Launch(apps.GrayScottWorkflowID)
+	return cr, nil
+}
+
+// Events returns the kill/heal events fired so far.
+func (cr *ChaosRun) Events() []cluster.CampaignEvent { return cr.campaign.Events() }
+
+// Step advances the simulation by dt (bounded by the horizon) and reports
+// whether the campaign has finished. RunUntilWorkflowDone's short idle
+// grace would read a crash-recovery gap (which can span the whole settle
+// window) as completion; under chaos, completion means the simulation
+// actually finished its steps and every task wound down.
+func (cr *ChaosRun) Step(dt time.Duration) (bool, error) {
+	if cr.done {
+		return true, nil
+	}
+	w := cr.W
+	if w.Sim.Now() >= cr.opts.Horizon {
+		cr.done = true
+		return true, nil
+	}
+	if err := w.Sim.Run(w.Sim.Now() + sim.Time(dt)); err != nil {
+		return false, err
+	}
+	gs := w.SV.Instance(apps.GrayScottWorkflowID, "GrayScott")
+	if gs != nil && gs.State().String() == "Completed" && w.WorkflowDone(apps.GrayScottWorkflowID) {
+		cr.end = w.Sim.Now()
+		cr.done = true
+	} else if w.Sim.Pending() == 0 {
+		cr.done = true
+	}
+	return cr.done, nil
+}
+
+// Result summarizes the campaign as run so far (call after Step reports
+// done for the final verdict).
+func (cr *ChaosRun) Result() *ChaosResult {
+	w := cr.W
+	end := cr.end
 	if end == 0 {
 		end = w.Sim.Now()
 	}
-
 	tr := w.Orch.Trace
 	res := &ChaosResult{
-		Seed:           seed,
-		Machine:        m,
-		Opts:           opts,
-		ScheduledKills: scheduled,
-		Events:         campaign.Events(),
-		InjectedCarves: faults.Injected(),
+		Seed:           cr.seed,
+		Machine:        cr.m,
+		Opts:           cr.opts,
+		ScheduledKills: cr.scheduled,
+		Events:         cr.campaign.Events(),
+		InjectedCarves: cr.faults.Injected(),
 		Rounds:         tr.Counter("arbiter.rounds"),
 		FailedRounds:   tr.Counter("arbiter.failed_rounds"),
 		Retries:        tr.Counter("actuate.retries"),
@@ -174,6 +218,7 @@ func RunChaos(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosResult, erro
 		RequeuedTasks:  tr.Counter("arbiter.requeued_tasks"),
 		Leaked:         LeakedOwners(w),
 		End:            end,
+		W:              w,
 	}
 	gs := w.SV.Instance(apps.GrayScottWorkflowID, "GrayScott")
 	if gs != nil {
@@ -182,7 +227,26 @@ func RunChaos(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosResult, erro
 	}
 	res.Converged = res.GSState == "Completed" &&
 		w.WorkflowDone(apps.GrayScottWorkflowID) && len(res.Leaked) == 0
-	return res, nil
+	return res
+}
+
+// RunChaos runs the Gray-Scott scenario with restart policies under a
+// seeded kill/heal campaign and flaky-carve injection, and checks that the
+// workflow still converges with no leaked resource assignment.
+func RunChaos(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosResult, error) {
+	cr, err := NewChaosRun(seed, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		done, err := cr.Step(5 * time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return cr.Result(), nil
+		}
+	}
 }
 
 // LeakedOwners returns resource-manager owners whose task is not running —

@@ -21,10 +21,13 @@ type Interval struct {
 	Task        string
 	Incarnation int
 	Procs       int
-	Start       sim.Time
-	End         sim.Time // zero while still running
-	Final       task.State
-	ExitCode    int
+	// Nodes is the sorted node set the incarnation was placed on — the
+	// Perfetto exporter draws the interval on each node's track.
+	Nodes    []string
+	Start    sim.Time
+	End      sim.Time // zero while still running
+	Final    task.State
+	ExitCode int
 }
 
 // Open reports whether the incarnation is still running.
@@ -63,12 +66,17 @@ func (r *Recorder) AttachWMS(sv *wms.Savanna) {
 		key := fmt.Sprintf("%s/%s#%d", ev.Workflow, ev.Task, ev.Instance.Incarnation)
 		switch ev.Kind {
 		case wms.TaskStarted:
+			var nodes []string
+			for _, id := range ev.Instance.Placement.Nodes() {
+				nodes = append(nodes, string(id))
+			}
 			r.open[key] = len(r.Intervals)
 			r.Intervals = append(r.Intervals, Interval{
 				Workflow:    ev.Workflow,
 				Task:        ev.Task,
 				Incarnation: ev.Instance.Incarnation,
 				Procs:       ev.Instance.Placement.Procs(),
+				Nodes:       nodes,
 				Start:       ev.At,
 			})
 		case wms.TaskEnded:

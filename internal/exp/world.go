@@ -14,6 +14,7 @@ import (
 	"dyflow/internal/core/spec"
 	"dyflow/internal/db"
 	"dyflow/internal/fsim"
+	"dyflow/internal/obs"
 	"dyflow/internal/resmgr"
 	"dyflow/internal/sim"
 	"dyflow/internal/stream"
@@ -30,6 +31,10 @@ type World struct {
 	SV      *wms.Savanna
 	Orch    *core.Orchestrator // nil for baseline (no-DYFLOW) runs
 	Rec     *Recorder
+	// Metrics is the world-wide registry: the resource manager, Savanna,
+	// the stream registry, and (once started) the orchestrator all publish
+	// into it. Serves `dyflow-exp serve`'s /metrics.
+	Metrics *obs.Registry
 }
 
 // NewWorld builds a world on the given machine with nodes allocated to the
@@ -54,7 +59,11 @@ func NewWorld(seed int64, m apps.Machine, nodes int) (*World, error) {
 		Env:     env,
 		SV:      wms.New(env, rm),
 		Rec:     NewRecorder(s),
+		Metrics: obs.NewRegistry(),
 	}
+	w.RM.SetMetrics(w.Metrics)
+	w.SV.SetMetrics(w.Metrics)
+	env.Streams.SetMetrics(w.Metrics)
 	w.Rec.AttachWMS(w.SV)
 	return w, nil
 }
@@ -65,6 +74,9 @@ func (w *World) StartOrchestration(xml string, opts core.Options) error {
 	cfg, err := spec.CompileString(xml)
 	if err != nil {
 		return err
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = w.Metrics
 	}
 	w.Orch = core.New(w.Env, w.SV, cfg, opts)
 	w.Rec.AttachOrchestrator(w.Orch)

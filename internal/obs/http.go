@@ -1,0 +1,21 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format — the /metrics endpoint of `dyflow-exp serve`.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry's JSON snapshot — the /metrics.json
+// endpoint of `dyflow-exp serve`.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"dyflow/internal/cluster"
+	"dyflow/internal/obs"
 )
 
 // ResourceSet maps node IDs to a number of CPU cores on that node. It is the
@@ -107,6 +108,78 @@ type Manager struct {
 	// faults, if set, injects deterministic transient failures (chaos
 	// testing).
 	faults *Faults
+	// metrics, if set, publishes utilization gauges and carve counters.
+	metrics *metrics
+}
+
+// metrics holds the manager's registry handles; gauges are re-published
+// eagerly at every mutation point rather than computed at scrape time, so
+// scraping never reads live manager state from another goroutine.
+type metrics struct {
+	allocated     *obs.Gauge
+	unhealthy     *obs.Gauge
+	freeCores     *obs.Gauge
+	assignedCores *obs.Gauge
+	nodeAssigned  *obs.GaugeVec
+	carves        *obs.Counter
+	carveFailures *obs.Counter
+	injected      *obs.Counter
+}
+
+// SetMetrics attaches a metrics registry, registering the resmgr gauge and
+// counter families and publishing the current state.
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.metrics = &metrics{
+		allocated:     reg.Gauge("dyflow_resmgr_allocated_nodes", "Whole nodes in the job allocation.").With(),
+		unhealthy:     reg.Gauge("dyflow_resmgr_unhealthy_nodes", "Allocated nodes currently out of service.").With(),
+		freeCores:     reg.Gauge("dyflow_resmgr_free_cores", "Healthy unassigned cores within the allocation.").With(),
+		assignedCores: reg.Gauge("dyflow_resmgr_assigned_cores", "Cores currently assigned to owners.").With(),
+		nodeAssigned:  reg.Gauge("dyflow_resmgr_node_assigned_cores", "Cores assigned per node.", "node"),
+		carves:        reg.Counter("dyflow_resmgr_carves_total", "Successful carve operations.").With(),
+		carveFailures: reg.Counter("dyflow_resmgr_carve_failures_total", "Carve operations that failed for lack of resources.").With(),
+		injected:      reg.Counter("dyflow_resmgr_injected_faults_total", "Chaos-injected transient carve faults.").With(),
+	}
+	m.publishGauges()
+}
+
+// publishGauges pushes the current allocation/assignment state into the
+// registry. Called after every mutation; cheap no-op when detached.
+func (m *Manager) publishGauges() {
+	mm := m.metrics
+	if mm == nil {
+		return
+	}
+	unhealthy := 0
+	for id := range m.alloc {
+		if n := m.cluster.Node(id); n == nil || !n.Healthy() {
+			unhealthy++
+		}
+	}
+	assignedTotal := 0
+	perNode := make(map[cluster.NodeID]int)
+	for _, rs := range m.assigned {
+		for id, n := range rs {
+			assignedTotal += n
+			perNode[id] += n
+		}
+	}
+	mm.allocated.Set(float64(len(m.alloc)))
+	mm.unhealthy.Set(float64(unhealthy))
+	mm.freeCores.Set(float64(m.Free().Total()))
+	mm.assignedCores.Set(float64(assignedTotal))
+	// Publish every allocated node (zeroing nodes whose cores were
+	// released) so stale per-node values never linger.
+	for id := range m.alloc {
+		mm.nodeAssigned.With(string(id)).Set(float64(perNode[id]))
+	}
+	for id, n := range perNode {
+		if !m.alloc[id] {
+			mm.nodeAssigned.With(string(id)).Set(float64(n))
+		}
+	}
 }
 
 // New creates a manager over c with an empty allocation and subscribes to
@@ -131,7 +204,11 @@ func (m *Manager) OnResourceLoss(fn func(owner string, node cluster.NodeID, lost
 }
 
 func (m *Manager) healthChanged(n *cluster.Node, healthy bool) {
-	if healthy || !m.alloc[n.ID] {
+	if !m.alloc[n.ID] {
+		return
+	}
+	defer m.publishGauges()
+	if healthy {
 		return
 	}
 	// A node in our allocation died: every owner with cores there loses
@@ -171,6 +248,7 @@ func (m *Manager) Allocate(n int) ([]cluster.NodeID, error) {
 	for _, id := range granted {
 		m.alloc[id] = true
 	}
+	m.publishGauges()
 	return granted, nil
 }
 
@@ -199,6 +277,7 @@ func (m *Manager) ReleaseNodes(ids []cluster.NodeID) error {
 	for _, id := range ids {
 		delete(m.alloc, id)
 	}
+	m.publishGauges()
 	return nil
 }
 
@@ -271,12 +350,14 @@ func (m *Manager) Assign(owner string, rs ResourceSet) error {
 		m.assigned[owner] = cur
 	}
 	cur.Add(rs)
+	m.publishGauges()
 	return nil
 }
 
 // Release returns all of owner's cores to the free pool.
 func (m *Manager) Release(owner string) {
 	delete(m.assigned, owner)
+	m.publishGauges()
 }
 
 // ReleasePartial returns rs of owner's cores to the free pool.
@@ -291,6 +372,7 @@ func (m *Manager) ReleasePartial(owner string, rs ResourceSet) error {
 	if cur.Total() == 0 {
 		delete(m.assigned, owner)
 	}
+	m.publishGauges()
 	return nil
 }
 
@@ -348,6 +430,10 @@ func (m *Manager) Carve(total, perNode int, exclude []cluster.NodeID) (ResourceS
 		return ResourceSet{}, nil
 	}
 	if m.faults.tripCarve() {
+		if mm := m.metrics; mm != nil {
+			mm.injected.Inc()
+			mm.carveFailures.Inc()
+		}
 		return nil, fmt.Errorf("%w: injected carve fault", ErrInsufficient)
 	}
 	skip := make(map[cluster.NodeID]bool, len(exclude))
@@ -378,6 +464,9 @@ func (m *Manager) Carve(total, perNode int, exclude []cluster.NodeID) (ResourceS
 			out[id] = n
 			remaining -= n
 			if remaining == 0 {
+				if mm := m.metrics; mm != nil {
+					mm.carves.Inc()
+				}
 				return out, nil
 			}
 		}
@@ -400,8 +489,14 @@ func (m *Manager) Carve(total, perNode int, exclude []cluster.NodeID) (ResourceS
 			}
 		}
 		if remaining == 0 {
+			if mm := m.metrics; mm != nil {
+				mm.carves.Inc()
+			}
 			return out, nil
 		}
+	}
+	if mm := m.metrics; mm != nil {
+		mm.carveFailures.Inc()
 	}
 	return nil, fmt.Errorf("%w: carve %d cores (per-node %d), %d short", ErrInsufficient, total, perNode, remaining)
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
 )
 
@@ -75,11 +76,18 @@ func (r *Reader) Get(p *sim.Proc) (Step, error) {
 		return Step{}, err
 	}
 	r.received++
+	r.stream.backlogChanged()
 	return st, nil
 }
 
 // TryGet returns the next staged record without blocking.
-func (r *Reader) TryGet() (Step, bool) { return r.buf.TryGet() }
+func (r *Reader) TryGet() (Step, bool) {
+	st, ok := r.buf.TryGet()
+	if ok {
+		r.stream.backlogChanged()
+	}
+	return st, ok
+}
 
 // Len returns the number of buffered records.
 func (r *Reader) Len() int { return r.buf.Len() }
@@ -109,6 +117,26 @@ type Stream struct {
 	nextID   int
 	closed   bool
 	produced int
+
+	// Per-stream metric handles, resolved by Registry.SetMetrics (nil and
+	// inert otherwise).
+	mProduced  *obs.Counter
+	mDropped   *obs.Counter
+	mEOFAttach *obs.Counter
+	mBacklog   *obs.Gauge
+}
+
+// backlogChanged re-publishes the total records buffered across attached
+// readers — the staging depth a policy watches for coupling backpressure.
+func (st *Stream) backlogChanged() {
+	if st.mBacklog == nil {
+		return
+	}
+	total := 0
+	for _, r := range st.readers {
+		total += r.buf.Len()
+	}
+	st.mBacklog.Set(float64(total))
 }
 
 // newStream is internal; obtain streams from a Registry.
@@ -149,6 +177,7 @@ func (st *Stream) Attach(capacity int, mode Mode) *Reader {
 		// instead of blocking forever on data that will never come (the
 		// restarted-consumer recovery path).
 		r.buf.Close()
+		st.mEOFAttach.Inc()
 	}
 	return r
 }
@@ -179,6 +208,7 @@ func (st *Stream) Put(p *sim.Proc, step Step) error {
 	}
 	step.Produced = st.sim.Now()
 	st.produced++
+	st.mProduced.Inc()
 	for _, r := range st.sortedReaders() {
 		switch r.mode {
 		case Block:
@@ -186,6 +216,7 @@ func (st *Stream) Put(p *sim.Proc, step Step) error {
 				if errors.Is(err, sim.ErrClosed) {
 					continue // reader detached while we were blocked
 				}
+				st.backlogChanged()
 				return err
 			}
 		case DropOldest:
@@ -195,12 +226,14 @@ func (st *Stream) Put(p *sim.Proc, step Step) error {
 				}
 				if _, ok := r.buf.TryGet(); ok {
 					r.dropped++
+					st.mDropped.Inc()
 				} else {
 					break
 				}
 			}
 		}
 	}
+	st.backlogChanged()
 	return nil
 }
 
@@ -229,11 +262,44 @@ func (st *Stream) reopen() {
 type Registry struct {
 	sim     *sim.Sim
 	streams map[string]*Stream
+
+	mProduced  *obs.CounterVec
+	mDropped   *obs.CounterVec
+	mEOFAttach *obs.CounterVec
+	mBacklog   *obs.GaugeVec
 }
 
 // NewRegistry creates an empty stream registry.
 func NewRegistry(s *sim.Sim) *Registry {
 	return &Registry{sim: s, streams: make(map[string]*Stream)}
+}
+
+// SetMetrics attaches a metrics registry: every stream (existing and
+// future) publishes produced/dropped/EOF-attach counters and a backlog
+// gauge labeled by stream name.
+func (r *Registry) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mProduced = reg.Counter("dyflow_stream_produced_total", "Records staged by the producer.", "stream")
+	r.mDropped = reg.Counter("dyflow_stream_dropped_total", "Records discarded by DropOldest readers.", "stream")
+	r.mEOFAttach = reg.Counter("dyflow_stream_eof_attaches_total",
+		"Reader attaches to an already-closed stream (restarted-consumer recovery).", "stream")
+	r.mBacklog = reg.Gauge("dyflow_stream_backlog_records", "Records buffered across attached readers.", "stream")
+	for _, st := range r.streams {
+		r.instrument(st)
+	}
+}
+
+// instrument resolves a stream's per-name metric handles.
+func (r *Registry) instrument(st *Stream) {
+	if r.mProduced == nil {
+		return
+	}
+	st.mProduced = r.mProduced.With(st.name)
+	st.mDropped = r.mDropped.With(st.name)
+	st.mEOFAttach = r.mEOFAttach.With(st.name)
+	st.mBacklog = r.mBacklog.With(st.name)
 }
 
 // Open returns the stream with the given name, creating it if necessary.
@@ -243,6 +309,7 @@ func (r *Registry) Open(name string) *Stream {
 	st, ok := r.streams[name]
 	if !ok {
 		st = newStream(r.sim, name)
+		r.instrument(st)
 		r.streams[name] = st
 		return st
 	}
@@ -261,6 +328,7 @@ func (r *Registry) OpenRead(name string) *Stream {
 	st, ok := r.streams[name]
 	if !ok {
 		st = newStream(r.sim, name)
+		r.instrument(st)
 		r.streams[name] = st
 	}
 	return st

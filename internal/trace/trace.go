@@ -30,10 +30,13 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
 )
 
@@ -86,17 +89,29 @@ type queueAcc struct {
 }
 
 // Recorder is the flight recorder shared by one orchestrator's stages.
-// The simulation substrate runs processes one at a time, so no locking is
-// needed (mirroring the engines' own counters).
+// The simulation substrate runs processes one at a time, but `dyflow-exp
+// serve` reads the recorder from HTTP goroutines while a run is in
+// flight, so all state is mutex-guarded. Latency distributions are stored
+// in bounded obs.Histogram buckets rather than unbounded sample slices;
+// when a metrics registry is attached with SetMetrics, those histograms
+// ARE the registry's labeled series (shared storage, no double counting)
+// and counters/queue depths mirror into registry families.
 type Recorder struct {
+	mu sync.Mutex
+
 	spans map[string]*Span
 	order []string // span IDs in creation order
 
 	counters map[string]int64
 
-	sensorLags map[string][]sim.Time // sensor ID -> detection lags
-	opLats     map[string][]sim.Time // op kind -> execution latencies
-	queues     map[string]*queueAcc  // endpoint -> depth accumulator
+	sensorLags map[string]*obs.Histogram // sensor ID -> detection-lag histogram (seconds)
+	opLats     map[string]*obs.Histogram // op kind -> execution-latency histogram (seconds)
+	queues     map[string]*queueAcc      // endpoint -> depth accumulator
+
+	events   *obs.CounterVec   // dyflow_stage_events_total{event}
+	lagVec   *obs.HistogramVec // dyflow_sensor_lag_seconds{sensor}
+	opVec    *obs.HistogramVec // dyflow_actuation_op_seconds{op}
+	queueVec *obs.GaugeVec     // dyflow_bus_queue_depth{endpoint}
 }
 
 // New creates an empty recorder.
@@ -104,10 +119,32 @@ func New() *Recorder {
 	return &Recorder{
 		spans:      make(map[string]*Span),
 		counters:   make(map[string]int64),
-		sensorLags: make(map[string][]sim.Time),
-		opLats:     make(map[string][]sim.Time),
+		sensorLags: make(map[string]*obs.Histogram),
+		opLats:     make(map[string]*obs.Histogram),
 		queues:     make(map[string]*queueAcc),
 	}
+}
+
+// SetMetrics attaches a metrics registry: stage counters mirror into
+// dyflow_stage_events_total{event}, sensor lags and op latencies are
+// stored in the registry's dyflow_sensor_lag_seconds{sensor} /
+// dyflow_actuation_op_seconds{op} histogram series, and queue depths set
+// dyflow_bus_queue_depth{endpoint}. Attach before recording: histograms
+// resolved earlier stay standalone and do not appear in the registry.
+func (r *Recorder) SetMetrics(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = reg.Counter("dyflow_stage_events_total",
+		"Flight-recorder stage counter events by name.", "event")
+	r.lagVec = reg.Histogram("dyflow_sensor_lag_seconds",
+		"Sensor detection lag (data generation to metric forwarded).", nil, "sensor")
+	r.opVec = reg.Histogram("dyflow_actuation_op_seconds",
+		"Actuation operation execution latency.", nil, "op")
+	r.queueVec = reg.Gauge("dyflow_bus_queue_depth",
+		"Bus queue depth sampled at enqueue.", "endpoint")
 }
 
 // Inc adds delta to a named stage counter.
@@ -115,7 +152,12 @@ func (r *Recorder) Inc(name string, delta int64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.counters[name] += delta
+	if delta > 0 {
+		r.events.With(name).Add(delta)
+	}
 }
 
 // Counter returns a named counter's value (0 if never incremented).
@@ -123,6 +165,8 @@ func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.counters[name]
 }
 
@@ -131,6 +175,8 @@ func (r *Recorder) Suggested(id, workflow, policy, action, sensorID string, gene
 	if r == nil || id == "" {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.spans[id]; ok {
 		return
 	}
@@ -152,6 +198,8 @@ func (r *Recorder) Received(id string, at sim.Time) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if sp, ok := r.spans[id]; ok {
 		sp.ReceivedAt = at
 	}
@@ -162,6 +210,8 @@ func (r *Recorder) Planned(id string, at sim.Time) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if sp, ok := r.spans[id]; ok {
 		sp.PlannedAt = at
 	}
@@ -172,6 +222,8 @@ func (r *Recorder) Executed(id string, at sim.Time) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if sp, ok := r.spans[id]; ok {
 		sp.ExecutedAt = at
 	}
@@ -182,6 +234,8 @@ func (r *Recorder) Drop(id, reason string, at sim.Time) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if sp, ok := r.spans[id]; ok {
 		sp.Dropped = reason
 		if sp.ReceivedAt == 0 {
@@ -190,13 +244,45 @@ func (r *Recorder) Drop(id, reason string, at sim.Time) {
 	}
 }
 
+// hist resolves the histogram for one key in a distribution map, creating
+// it on first use: from the attached registry family (shared storage with
+// the exposed series) when one is set, standalone otherwise. Caller holds
+// r.mu.
+func hist(m map[string]*obs.Histogram, vec *obs.HistogramVec, key string) *obs.Histogram {
+	h, ok := m[key]
+	if !ok {
+		if vec != nil {
+			h = vec.With(key)
+		} else {
+			h = obs.NewHistogram(nil)
+		}
+		m[key] = h
+	}
+	return h
+}
+
 // SensorLag records one detection-lag sample (data generation to metric
 // forwarded) for a sensor.
 func (r *Recorder) SensorLag(sensorID string, lag sim.Time) {
 	if r == nil {
 		return
 	}
-	r.sensorLags[sensorID] = append(r.sensorLags[sensorID], lag)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hist(r.sensorLags, r.lagVec, sensorID).Observe(lag.Seconds())
+}
+
+// SensorLagQuantile returns the q-quantile of a sensor's recorded
+// detection lags at histogram-bucket resolution (0 with no samples) — the
+// value the dyflow self-monitoring sensor source exposes.
+func (r *Recorder) SensorLagQuantile(sensorID string, q float64) sim.Time {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	h := r.sensorLags[sensorID]
+	r.mu.Unlock()
+	return secondsToDuration(h.Quantile(q))
 }
 
 // OpExecuted records one actuation operation's execution latency.
@@ -204,24 +290,52 @@ func (r *Recorder) OpExecuted(kind string, started, ended sim.Time) {
 	if r == nil {
 		return
 	}
-	r.opLats[kind] = append(r.opLats[kind], ended-started)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hist(r.opLats, r.opVec, kind).Observe((ended - started).Seconds())
 }
 
-// QueueDepth records one bus queue-depth sample for an endpoint.
+// QueueDepth records one bus queue-depth sample for an endpoint. Negative
+// depths (a miscounting producer) clamp to zero and the running sum
+// saturates instead of wrapping, so MeanDepth stays a depth.
 func (r *Recorder) QueueDepth(endpoint string, depth int) {
 	if r == nil {
 		return
 	}
+	if depth < 0 {
+		depth = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	q, ok := r.queues[endpoint]
 	if !ok {
 		q = &queueAcc{}
 		r.queues[endpoint] = q
 	}
 	q.samples++
-	q.sum += int64(depth)
+	if q.sum > math.MaxInt64-int64(depth) {
+		q.sum = math.MaxInt64
+	} else {
+		q.sum += int64(depth)
+	}
 	if depth > q.max {
 		q.max = depth
 	}
+	r.queueVec.With(endpoint).Set(float64(depth))
+}
+
+// QueueMaxDepth returns the largest depth sampled for an endpoint (0 if
+// never sampled) — exposed through the dyflow self-monitoring source.
+func (r *Recorder) QueueMaxDepth(endpoint string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if q, ok := r.queues[endpoint]; ok {
+		return q.max
+	}
+	return 0
 }
 
 // Spans returns all spans in creation order.
@@ -229,6 +343,8 @@ func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Span, 0, len(r.order))
 	for _, id := range r.order {
 		out = append(out, *r.spans[id])
@@ -241,6 +357,8 @@ func (r *Recorder) Span(id string) (Span, bool) {
 	if r == nil {
 		return Span{}, false
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	sp, ok := r.spans[id]
 	if !ok {
 		return Span{}, false
@@ -319,19 +437,24 @@ func stageLag(sp Span, stage string) sim.Time {
 	return 0
 }
 
-// percentile returns the nearest-rank percentile of sorted samples.
+// percentile returns the nearest-rank percentile of sorted samples:
+// rank = ceil(q*n), 1-based, so percentile(s, q) = s[ceil(q*n)-1]. This is
+// the standard nearest-rank convention (and the one obs.Histogram.Quantile
+// uses): for any n <= 100, P99's rank is n, i.e. P99 of a small sample is
+// its maximum — the previous round-half-up formula could land a rank low
+// for small n, reporting P50-ish values as P99.
 func percentile(sorted []sim.Time, q float64) sim.Time {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }
 
 func summarize(label string, samples []sim.Time) LatencyStat {
@@ -352,6 +475,25 @@ func summarize(label string, samples []sim.Time) LatencyStat {
 	return st
 }
 
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
+}
+
+// summarizeHist renders a LatencyStat from a bounded histogram: Count,
+// Mean, and Max are exact; P50/P99 are nearest-rank at bucket resolution
+// (the upper bound of the bucket holding the rank).
+func summarizeHist(label string, h *obs.Histogram) LatencyStat {
+	st := LatencyStat{Label: label, Count: int(h.Count())}
+	if st.Count == 0 {
+		return st
+	}
+	st.Mean = secondsToDuration(h.Mean())
+	st.P50 = secondsToDuration(h.Quantile(0.50))
+	st.P99 = secondsToDuration(h.Quantile(0.99))
+	st.Max = secondsToDuration(h.Max())
+	return st
+}
+
 // Report builds the current report. All groupings iterate in sorted order
 // so equal runs render byte-identical reports.
 func (r *Recorder) Report() *Report {
@@ -359,6 +501,8 @@ func (r *Recorder) Report() *Report {
 		return &Report{}
 	}
 	rep := &Report{Spans: r.Spans()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 
 	// Per-policy per-stage latencies over completed spans.
 	byPolicy := map[string][]Span{}
@@ -387,10 +531,10 @@ func (r *Recorder) Report() *Report {
 	}
 
 	for _, id := range sortedKeys(r.sensorLags) {
-		rep.SensorLags = append(rep.SensorLags, summarize(id, r.sensorLags[id]))
+		rep.SensorLags = append(rep.SensorLags, summarizeHist(id, r.sensorLags[id]))
 	}
 	for _, k := range sortedKeys(r.opLats) {
-		rep.Ops = append(rep.Ops, summarize(k, r.opLats[k]))
+		rep.Ops = append(rep.Ops, summarizeHist(k, r.opLats[k]))
 	}
 	for _, name := range sortedKeys(r.counters) {
 		rep.Counters = append(rep.Counters, CounterValue{Name: name, Value: r.counters[name]})
@@ -416,7 +560,15 @@ func sortedKeys[V any](m map[string]V) []string {
 	return out
 }
 
-func fmtLat(d time.Duration) string { return d.Round(time.Millisecond).String() }
+// fmtLat renders a latency with adaptive precision: sub-millisecond values
+// round to the microsecond (whole-ms rounding showed every fast op as
+// "0s"), everything else to the millisecond.
+func fmtLat(d time.Duration) string {
+	if d > -time.Millisecond && d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(time.Millisecond).String()
+}
 
 // Write renders the report as aligned text tables — the reproduction's
 // §4.6 per-stage latency breakdown.

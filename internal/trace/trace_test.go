@@ -3,9 +3,12 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"sync"
 	"testing"
 	"time"
 
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
 )
 
@@ -123,6 +126,165 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	if got := percentile(nil, 0.50); got != 0 {
 		t.Fatalf("p50 of empty = %v, want 0", got)
+	}
+}
+
+// TestPercentileSmallSamples pins the nearest-rank (rank = ceil(q*n))
+// convention for tiny samples: P99 of any n <= 100 sample is its maximum,
+// and P50 is the ceil(n/2)-th value — no sliding toward lower ranks.
+func TestPercentileSmallSamples(t *testing.T) {
+	cases := []struct {
+		samples  []sim.Time
+		q        float64
+		want     sim.Time
+		describe string
+	}{
+		{[]sim.Time{sec(7)}, 0.50, sec(7), "n=1 p50"},
+		{[]sim.Time{sec(7)}, 0.99, sec(7), "n=1 p99"},
+		{[]sim.Time{sec(1), sec(9)}, 0.50, sec(1), "n=2 p50 rank ceil(1)=1"},
+		{[]sim.Time{sec(1), sec(9)}, 0.99, sec(9), "n=2 p99 is the max"},
+		{[]sim.Time{sec(1), sec(2), sec(9)}, 0.50, sec(2), "n=3 p50 rank ceil(1.5)=2"},
+		{[]sim.Time{sec(1), sec(2), sec(9)}, 0.99, sec(9), "n=3 p99 is the max"},
+		{[]sim.Time{sec(1), sec(2), sec(3), sec(9)}, 0.99, sec(9), "n=4 p99 is the max"},
+		{[]sim.Time{sec(1), sec(2), sec(3), sec(4)}, 0.25, sec(1), "n=4 p25 rank ceil(1)=1"},
+	}
+	for _, c := range cases {
+		if got := percentile(c.samples, c.q); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.describe, got, c.want)
+		}
+	}
+}
+
+// TestFmtLatAdaptive: sub-millisecond latencies render with microsecond
+// precision instead of collapsing to "0s"; larger ones keep millisecond
+// rounding.
+func TestFmtLatAdaptive(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0s"},
+		{450 * time.Microsecond, "450µs"},
+		{999 * time.Microsecond, "999µs"},
+		{1500 * time.Nanosecond, "2µs"},
+		{time.Millisecond, "1ms"},
+		{1500 * time.Millisecond, "1.5s"},
+		{3 * time.Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := fmtLat(c.d); got != c.want {
+			t.Errorf("fmtLat(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestQueueDepthGuards: negative depths clamp to zero (mean stays a
+// depth) and the running sum saturates at MaxInt64 instead of wrapping
+// negative.
+func TestQueueDepthGuards(t *testing.T) {
+	r := New()
+	r.QueueDepth("ep", -5)
+	r.QueueDepth("ep", 3)
+	rep := r.Report()
+	if len(rep.Queues) != 1 {
+		t.Fatalf("queues = %+v, want 1 endpoint", rep.Queues)
+	}
+	q := rep.Queues[0]
+	if q.Samples != 2 || q.MeanDepth != 1.5 || q.MaxDepth != 3 {
+		t.Fatalf("queue stat = %+v, want samples=2 mean=1.5 max=3", q)
+	}
+
+	// Saturation: force the accumulator near the top, then add more.
+	r.queues["ep"].sum = math.MaxInt64 - 1
+	r.QueueDepth("ep", 10)
+	if got := r.queues["ep"].sum; got != math.MaxInt64 {
+		t.Fatalf("sum = %d, want saturated MaxInt64", got)
+	}
+	r.QueueDepth("ep", 10)
+	if got := r.queues["ep"].sum; got != math.MaxInt64 {
+		t.Fatalf("sum wrapped after saturation: %d", got)
+	}
+}
+
+// TestRecorderConcurrentAccess hammers every mutating method from writer
+// goroutines while readers render reports — the `dyflow-exp serve`
+// pattern. Run under -race (make verify does) to make this meaningful.
+func TestRecorderConcurrentAccess(t *testing.T) {
+	r := New()
+	reg := obs.NewRegistry()
+	r.SetMetrics(reg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := sec(w*1000 + i).String()
+				r.Suggested(id, "W", "P", "ADDCPU", "PACE", sec(1), sec(2), sec(3))
+				r.Received(id, sec(4))
+				r.Planned(id, sec(5))
+				r.Executed(id, sec(6))
+				r.Inc("decision.suggestions", 1)
+				r.SensorLag("PACE", sec(i%5))
+				r.OpExecuted("start", sec(0), sec(i%3))
+				r.QueueDepth("arbiter", i%7)
+			}
+		}(w)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				r.Report().Write(&buf)
+				_ = r.Spans()
+				_ = r.Counter("decision.suggestions")
+				_ = r.SensorLagQuantile("PACE", 0.99)
+				_ = r.QueueMaxDepth("arbiter")
+				_ = reg.WritePrometheus(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("decision.suggestions"); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	if len(r.Spans()) != 800 {
+		t.Fatalf("spans = %d, want 800", len(r.Spans()))
+	}
+}
+
+// TestSetMetricsMirrors: with a registry attached, counters, lags, ops,
+// and queue depths surface as registry families — and the recorder's own
+// report reads the same shared histogram storage (no double counting).
+func TestSetMetricsMirrors(t *testing.T) {
+	r := New()
+	reg := obs.NewRegistry()
+	r.SetMetrics(reg)
+	fill(r)
+
+	if v, ok := reg.Value("dyflow_stage_events_total"); !ok || v != 5 {
+		t.Fatalf("stage events = %v (ok=%v), want 5", v, ok)
+	}
+	if v, ok := reg.Value("dyflow_sensor_lag_seconds"); !ok || v != 2 {
+		t.Fatalf("sensor lag count = %v (ok=%v), want 2 observations", v, ok)
+	}
+	if v, ok := reg.Value("dyflow_actuation_op_seconds"); !ok || v != 2 {
+		t.Fatalf("op latency count = %v (ok=%v), want 2 observations", v, ok)
+	}
+	if v, ok := reg.Value("dyflow_bus_queue_depth"); !ok || v != 3 {
+		t.Fatalf("queue depth gauge = %v (ok=%v), want last depth 3", v, ok)
+	}
+
+	rep := r.Report()
+	if len(rep.SensorLags) != 1 || rep.SensorLags[0].Count != 2 {
+		t.Fatalf("report sensor lags = %+v", rep.SensorLags)
+	}
+	// Lags 1s and 2s land exactly on the 1 and 2.5-second bucket bounds.
+	if rep.SensorLags[0].P50 != time.Second || rep.SensorLags[0].Max != 2*time.Second {
+		t.Fatalf("lag stat = %+v, want p50=1s max=2s", rep.SensorLags[0])
 	}
 }
 

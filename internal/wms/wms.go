@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dyflow/internal/cluster"
+	"dyflow/internal/obs"
 	"dyflow/internal/resmgr"
 	"dyflow/internal/sim"
 	"dyflow/internal/task"
@@ -116,6 +117,24 @@ type Savanna struct {
 	scripts   map[string]time.Duration
 	subs      []func(Event)
 	onState   []func(in *task.Instance, from, to task.State)
+
+	mStarts          *obs.CounterVec // dyflow_wms_task_starts_total{task}
+	mStops           *obs.CounterVec // dyflow_wms_task_stops_total{task}
+	mPlacementLosses *obs.Counter    // dyflow_wms_placement_losses_total
+	mRunning         *obs.Gauge      // dyflow_wms_running_tasks
+}
+
+// SetMetrics attaches a metrics registry, registering the WMS task
+// lifecycle families.
+func (sv *Savanna) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sv.mStarts = reg.Counter("dyflow_wms_task_starts_total", "Task incarnations launched.", "task")
+	sv.mStops = reg.Counter("dyflow_wms_task_stops_total", "Task incarnations ended (any reason).", "task")
+	sv.mPlacementLosses = reg.Counter("dyflow_wms_placement_losses_total",
+		"Starts whose placement was lost to node failure during the user script.").With()
+	sv.mRunning = reg.Gauge("dyflow_wms_running_tasks", "Live task incarnations.").With()
 }
 
 // New creates a Savanna runtime over env and rm. Node failures reported by
@@ -303,6 +322,7 @@ func (sv *Savanna) StartTask(p *sim.Proc, workflowID, taskName string, rs resmgr
 			}
 		}
 		sv.rm.Release(k)
+		sv.mPlacementLosses.Inc()
 		return &PlacementLostError{Workflow: workflowID, Task: taskName, Nodes: cluster.SortNodeIDs(lost)}
 	}
 	cpp := rt.cfg.CoresPerProc
@@ -320,6 +340,8 @@ func (sv *Savanna) StartTask(p *sim.Proc, workflowID, taskName string, rs resmgr
 	rt.released = false
 	inst := task.Launch(sv.env, rt.cfg.Spec, placement, inc, sv.fanOutState)
 	rt.inst = inst
+	sv.mStarts.With(k).Inc()
+	sv.mRunning.Add(1)
 	sv.emit(Event{Kind: TaskStarted, Workflow: workflowID, Task: taskName, Instance: inst})
 
 	// Watcher: when the incarnation ends for any reason, return its
@@ -330,6 +352,8 @@ func (sv *Savanna) StartTask(p *sim.Proc, workflowID, taskName string, rs resmgr
 			sv.rm.Release(key(workflowID, taskName))
 			rt.released = true
 		}
+		sv.mStops.With(k).Inc()
+		sv.mRunning.Add(-1)
 		sv.emit(Event{Kind: TaskEnded, Workflow: workflowID, Task: taskName, Instance: inst})
 	})
 	return nil
