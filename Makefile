@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos bench
+.PHONY: build test vet race verify chaos chaos-restart bench
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ verify: vet build test race
 # flaky carves, retry/requeue recovery — under the race detector.
 chaos:
 	$(GO) test -race -run 'Chaos|Campaign|Fault|Retr|Requeue|Recover|NodeDies' ./internal/...
+
+# Crash-safety suite (DESIGN.md §12, docs/RECOVERY.md): checkpoint/restore
+# round-trips, the orchestrator-kill campaign with its golden determinism
+# check, and stage-supervisor panic/stall recovery — under the race
+# detector.
+chaos-restart:
+	$(GO) test -race -run 'Ckpt|Checkpoint|Snapshot|Restore|Supervisor|OrchestratorKill|Journal|StopIdempotent|Sanitize' ./internal/...
 
 # Micro-benchmarks on the observability hot paths (registry handles, label
 # resolution, exposition) and the bus round trip, exported as JSON for the

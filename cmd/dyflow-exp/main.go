@@ -39,6 +39,8 @@ var (
 	traceJSONFlag = flag.String("trace-json", "", "write the trace experiment's report as JSON to this file")
 	perfettoFlag  = flag.String("perfetto", "", "write a Chrome trace-event (Perfetto) timeline of the run to this file")
 	addrFlag      = flag.String("addr", "127.0.0.1:8080", "serve: HTTP listen address")
+	ckptDirFlag   = flag.String("ckpt-dir", "", "chaos: checkpoint store directory (rounds are journaled there; temp dir if empty and -orch-kills > 0)")
+	orchKillsFlag = flag.Int("orch-kills", 0, "chaos: tear the orchestrator down this many times mid-campaign, restoring from checkpoint")
 )
 
 func machine() dyflow.Machine {
@@ -348,7 +350,18 @@ func overprov() error {
 // policies under node kills/heals and flaky carves, reporting the recovery
 // counters and whether the workflow still converged (DESIGN.md §10).
 func chaos() error {
-	res, err := dyflow.RunChaos(*seedFlag, machine(), dyflow.DefaultChaosOptions())
+	opts := dyflow.DefaultChaosOptions()
+	opts.CkptDir = *ckptDirFlag
+	opts.OrchKills = *orchKillsFlag
+	if opts.OrchKills > 0 && opts.CkptDir == "" {
+		dir, err := os.MkdirTemp("", "dyflow-ckpt-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts.CkptDir = dir
+	}
+	res, err := dyflow.RunChaos(*seedFlag, machine(), opts)
 	if err != nil {
 		return err
 	}

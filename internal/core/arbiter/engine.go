@@ -140,9 +140,31 @@ type Engine struct {
 	// rounds, which is what the experiment reports count.
 	empty     []Record
 	discarded int
-	onPlan    func(Record)
+	onPlan    []func(Record)
+	onRound   []func(RoundEvent)
 	proc      *sim.Proc
 	tr        *trace.Recorder
+	spawn     func(name string, fn func(*sim.Proc)) *sim.Proc
+	// busy is true from the moment a suggestion batch passes the guards
+	// until its round completes. Checkpoints must not be taken while busy:
+	// the gather window and the executing plan live on the proc stack and
+	// cannot be serialized. Drivers defer the checkpoint to the next
+	// quiescent instant instead (the WAL-commit-at-round-boundary rule).
+	busy bool
+}
+
+// RoundEvent describes one completed arbitration round — executed or empty —
+// together with the post-round engine state a write-ahead journal needs to
+// replay it: the updated T_waiting queue for the round's workflow and the
+// settle/cooldown deadline the round armed.
+type RoundEvent struct {
+	Record Record
+	// Empty marks rounds whose plan came out empty.
+	Empty bool
+	// Waiting is the workflow's T_waiting queue after the round.
+	Waiting []WaitingTask
+	// SettleUntil is the guard deadline after the round (zero if unarmed).
+	SettleUntil sim.Time
 }
 
 // New creates the Arbitration engine reading suggestion batches from its
@@ -162,8 +184,23 @@ func New(s *sim.Sim, bus *msg.Bus, name string, cfg Config, rules map[string]*sp
 	}
 }
 
-// OnPlan registers an observer for completed arbitration rounds.
-func (e *Engine) OnPlan(fn func(Record)) { e.onPlan = fn }
+// OnPlan registers an observer for executed arbitration rounds. Observers
+// accumulate — registering never displaces an earlier observer.
+func (e *Engine) OnPlan(fn func(Record)) { e.onPlan = append(e.onPlan, fn) }
+
+// OnRound registers an observer fired after every round, executed or empty,
+// with the post-round state a journal needs (see RoundEvent).
+func (e *Engine) OnRound(fn func(RoundEvent)) { e.onRound = append(e.onRound, fn) }
+
+// SetSpawner overrides how the engine spawns its process (the supervisor
+// injects a panic-guarded spawner here). Call before Start.
+func (e *Engine) SetSpawner(spawn func(name string, fn func(*sim.Proc)) *sim.Proc) {
+	e.spawn = spawn
+}
+
+// Busy reports whether a round is in flight (gathering or executing a
+// plan). Checkpoints are only coherent while not busy.
+func (e *Engine) Busy() bool { return e.busy }
 
 // SetTracer attaches the flight recorder for suggestion-span stamping and
 // stage counters.
@@ -193,11 +230,21 @@ func (e *Engine) EnqueueWaiting(w WaitingTask) {
 	e.waiting[w.Workflow] = append(e.waiting[w.Workflow], w)
 }
 
-// Start spawns the engine process.
+// Start spawns the engine process. The warm-up window arms only on the
+// first Start: an engine restarted after a checkpoint restore (or a
+// supervisor stage restart) keeps its original startedAt so recovery does
+// not re-enter warm-up and discard live suggestions.
 func (e *Engine) Start() {
-	e.startedAt = e.s.Now()
-	e.started = true
-	e.proc = e.s.Spawn("arbiter", e.run)
+	if !e.started {
+		e.startedAt = e.s.Now()
+		e.started = true
+	}
+	e.busy = false
+	if e.spawn != nil {
+		e.proc = e.spawn("arbiter", e.run)
+	} else {
+		e.proc = e.s.Spawn("arbiter", e.run)
+	}
 }
 
 // Stop interrupts the engine process.
@@ -231,8 +278,10 @@ func (e *Engine) run(p *sim.Proc) {
 			}
 			continue
 		}
+		e.busy = true
 		batch = e.gather(p, batch)
 		e.arbitrate(p, batch)
+		e.busy = false
 	}
 }
 
@@ -346,6 +395,12 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 			for _, id := range ids {
 				e.tr.Drop(id, "empty-plan", rec.PlannedAt)
 			}
+			e.fireRound(RoundEvent{
+				Record:      rec,
+				Empty:       true,
+				Waiting:     append([]WaitingTask(nil), e.waiting[wf]...),
+				SettleUntil: e.settleUntil,
+			})
 			continue
 		}
 		// Protocol computation cost.
@@ -388,12 +443,23 @@ func (e *Engine) arbitrate(p *sim.Proc, batch []decision.Suggestion) []Record {
 			e.settleUntil = e.s.Now() + e.cfg.SettleDelay
 		}
 		e.records = append(e.records, rec)
-		if e.onPlan != nil {
-			e.onPlan(rec)
+		for _, fn := range e.onPlan {
+			fn(rec)
 		}
+		e.fireRound(RoundEvent{
+			Record:      rec,
+			Waiting:     append([]WaitingTask(nil), e.waiting[wf]...),
+			SettleUntil: e.settleUntil,
+		})
 		out = append(out, rec)
 	}
 	return out
+}
+
+func (e *Engine) fireRound(ev RoundEvent) {
+	for _, fn := range e.onRound {
+		fn(ev)
+	}
 }
 
 // requeue converts the unapplied START operations of a failed round into

@@ -61,12 +61,14 @@ func (e *fakeExec) Execute(p *sim.Proc, plan Plan) (ExecReport, error) {
 }
 
 type engineRig struct {
-	s    *sim.Sim
-	bus  *msg.Bus
-	dec  *msg.Endpoint
-	view *fakeView
-	exec *fakeExec
-	eng  *Engine
+	s     *sim.Sim
+	bus   *msg.Bus
+	dec   *msg.Endpoint
+	view  *fakeView
+	exec  *fakeExec
+	eng   *Engine
+	cfg   Config
+	rules map[string]*spec.WorkflowRules
 }
 
 func newEngineRig(t *testing.T, cfg Config) *engineRig {
@@ -93,7 +95,7 @@ func newEngineRig(t *testing.T, cfg Config) *engineRig {
 	}
 	eng := New(s, bus, "arbiter", cfg, rules, view, exec)
 	eng.Start()
-	return &engineRig{s: s, bus: bus, dec: dec, view: view, exec: exec, eng: eng}
+	return &engineRig{s: s, bus: bus, dec: dec, view: view, exec: exec, eng: eng, cfg: cfg, rules: rules}
 }
 
 func sendSuggestions(r *engineRig, at time.Duration, sgs ...decision.Suggestion) {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dyflow/internal/ckpt"
+	"dyflow/internal/sim"
+)
+
+// runPace drives the pace-adaptation world to the horizon, killing the
+// orchestrator at killAt (0 = never) and restoring a fresh instance from
+// its checkpoint store in place. Returns the orchestrator that finished the
+// run.
+func runPace(t *testing.T, killAt, horizon time.Duration) *Orchestrator {
+	t.Helper()
+	w := newWorld(t, 2)
+	composePaceWorkflow(t, w)
+	o := newPaceOrchestrator(t, w, Options{})
+	st, err := ckpt.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetStore(st)
+	o.Start()
+	w.s.Spawn("driver", func(p *sim.Proc) {
+		if err := w.sv.Launch(p, "WF"); err != nil {
+			t.Errorf("launch: %v", err)
+		}
+	})
+
+	if killAt > 0 {
+		// Advance to the kill instant, stepping past it while the arbiter
+		// is mid-round (its process stack isn't serializable).
+		next := killAt
+		for {
+			if err := w.s.Run(next); err != nil {
+				t.Fatal(err)
+			}
+			if !o.Arbiter.Busy() {
+				break
+			}
+			next += time.Second
+		}
+		if err := o.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		o.Detach()
+		o.Stop()
+		o2 := newPaceOrchestrator(t, w, Options{})
+		if err := Restore(o2, st); err != nil {
+			t.Fatal(err)
+		}
+		o2.SetStore(st)
+		o2.Start()
+		o = o2
+	}
+	if err := w.s.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	o.Stop()
+	return o
+}
+
+// An orchestrator killed mid-campaign and restored from its checkpoint must
+// converge to the same plan sequence as an uninterrupted run with the same
+// seed: the snapshot+journal captures everything decision-relevant.
+func TestCheckpointRestoreDeterminism(t *testing.T) {
+	const horizon = 10 * time.Minute
+	base := runPace(t, 0, horizon)
+	killed := runPace(t, 3*time.Minute, horizon)
+
+	wantRecs, err := json.Marshal(base.Arbiter.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRecs, err := json.Marshal(killed.Arbiter.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Arbiter.Records()) == 0 {
+		t.Fatal("base run produced no plans; the comparison is vacuous")
+	}
+	if string(wantRecs) != string(gotRecs) {
+		t.Fatalf("plan records diverged after kill+restore:\nbase:   %s\nkilled: %s", wantRecs, gotRecs)
+	}
+
+	// The suggestion lifecycle converges too (spans restored from the
+	// snapshot and continued live).
+	wantSpans, _ := json.Marshal(base.Trace.State().Spans)
+	gotSpans, _ := json.Marshal(killed.Trace.State().Spans)
+	if string(wantSpans) != string(gotSpans) {
+		t.Fatalf("trace spans diverged after kill+restore:\nbase:   %s\nkilled: %s", wantSpans, gotSpans)
+	}
+}
+
+// The versioned snapshot blob itself must be deterministic: two snapshots
+// of identically seeded runs at the same instant are byte-identical.
+func TestSnapshotBytesDeterministic(t *testing.T) {
+	take := func() []byte {
+		w := newWorld(t, 2)
+		composePaceWorkflow(t, w)
+		o := newPaceOrchestrator(t, w, Options{})
+		o.Start()
+		w.s.Spawn("driver", func(p *sim.Proc) {
+			if err := w.sv.Launch(p, "WF"); err != nil {
+				t.Errorf("launch: %v", err)
+			}
+		})
+		if err := w.s.Run(4 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if o.Arbiter.Busy() {
+			t.Skip("arbiter busy at snapshot instant; pick another instant")
+		}
+		blob, err := ckpt.Encode(SnapshotKind, o.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Stop()
+		return blob
+	}
+	a, b := take(), take()
+	if string(a) != string(b) {
+		t.Fatalf("snapshot bytes differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}

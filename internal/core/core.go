@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"dyflow/internal/ckpt"
 	"dyflow/internal/core/actuate"
 	"dyflow/internal/core/arbiter"
 	"dyflow/internal/core/decision"
@@ -51,6 +52,12 @@ type Options struct {
 	// into; nil creates a private one (always available on the
 	// Orchestrator).
 	Metrics *obs.Registry
+	// Supervisor tunes stage supervision (panic recovery, stall watchdog,
+	// restart backoff); zero fields take DefaultSupervisorConfig.
+	Supervisor SupervisorConfig
+	// NoSupervisor disables stage supervision entirely: stages run on plain
+	// processes and a stage panic fails the simulation.
+	NoSupervisor bool
 }
 
 // Orchestrator is a running DYFLOW service bound to one Savanna runtime.
@@ -69,8 +76,13 @@ type Orchestrator struct {
 	// Metrics is the unified metrics registry: flight-recorder mirrors plus
 	// whatever substrate packages the harness wired in. Serves /metrics.
 	Metrics *obs.Registry
+	// Supervisor guards the stage processes (nil with NoSupervisor).
+	Supervisor *Supervisor
 
-	env *task.Env
+	env      *task.Env
+	store    *ckpt.Store
+	detached bool
+	stopped  bool
 }
 
 // New builds (but does not start) an orchestrator for the compiled user
@@ -113,6 +125,7 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 		name := fmt.Sprintf("monitor-client-%d", i)
 		cl := sensor.NewClient(name, env, bus, EndpointMonitorServer, cfg, shard, workload, opts.SensorCosts)
 		cl.SetSelfSource(&selfSource{o: o})
+		cl.SetMetrics(opts.Metrics)
 		o.Clients = append(o.Clients, cl)
 	}
 
@@ -135,9 +148,26 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 	o.Arbiter.SetTracer(o.Trace)
 	o.Executor.SetTracer(o.Trace)
 
+	// Stage supervision: every stage process runs panic-guarded so a stage
+	// crash is absorbed and restarted instead of failing the simulation.
+	if !opts.NoSupervisor {
+		o.Supervisor = newSupervisor(o, opts.Supervisor)
+		o.Server.SetSpawner(o.Supervisor.spawner(StageMonitorServer))
+		for _, cl := range o.Clients {
+			cl.SetSpawner(o.Supervisor.spawner(StageMonitorClient))
+		}
+		o.Decision.SetSpawner(o.Supervisor.spawner(StageDecision))
+		o.Arbiter.SetSpawner(o.Supervisor.spawner(StageArbiter))
+	}
+
 	// Keep Decision consistent with runtime changes: a (re)started task's
-	// stale history must not immediately re-trigger policies.
+	// stale history must not immediately re-trigger policies. Detached
+	// (crashed) orchestrators share the Savanna with their replacement and
+	// must stop reacting to its events.
 	sv.OnEvent(func(ev wms.Event) {
+		if o.detached {
+			return
+		}
 		if ev.Kind == wms.TaskStarted {
 			o.Decision.ResetTask(ev.Workflow, ev.Task)
 		}
@@ -145,24 +175,46 @@ func New(env *task.Env, sv *wms.Savanna, cfg *spec.Config, opts Options) *Orches
 	return o
 }
 
-// Start launches all stage services (the bootstrap step).
+// Start launches all stage services (the bootstrap step) and the stage
+// supervisor's watchdog.
 func (o *Orchestrator) Start() {
+	o.stopped = false
 	o.Server.Start()
 	for _, c := range o.Clients {
 		c.Start()
 	}
 	o.Decision.Start()
 	o.Arbiter.Start()
+	if o.Supervisor != nil {
+		o.Supervisor.Start()
+	}
 }
 
-// Stop interrupts all stage services.
+// Stop interrupts all stage services. Idempotent: a second Stop — or a
+// Stop before Start — is a no-op.
 func (o *Orchestrator) Stop() {
+	if o.stopped {
+		return
+	}
+	o.stopped = true
+	// Supervisor first, so stage teardown is not mistaken for a crash.
+	if o.Supervisor != nil {
+		o.Supervisor.Stop()
+	}
 	for _, c := range o.Clients {
 		c.Stop()
 	}
 	o.Server.Stop()
 	o.Decision.Stop()
 	o.Arbiter.Stop()
+}
+
+// Detach permanently disconnects the orchestrator from shared substrate
+// callbacks (Savanna events, the checkpoint journal). The chaos harness
+// calls it on a "crashed" orchestrator so the instance restored in its
+// place is the only one reacting.
+func (o *Orchestrator) Detach() {
+	o.detached = true
 }
 
 // NewArbiterView exposes the Savanna-backed arbiter View for harnesses

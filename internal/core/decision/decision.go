@@ -181,10 +181,15 @@ type Engine struct {
 	recvProc *sim.Proc
 	evalProc *sim.Proc
 	tr       *trace.Recorder
+	spawn    func(name string, fn func(*sim.Proc)) *sim.Proc
 
 	evaluations int
 	suggestions int
 	seq         int // suggestion ID counter
+	// nextEval is the evaluator's next scheduled tick; checkpointed so a
+	// restored engine keeps the same evaluation grid (a shifted grid changes
+	// which gather window suggestions land in).
+	nextEval sim.Time
 }
 
 // New creates the Decision engine reading metrics from its endpoint and
@@ -215,6 +220,19 @@ func New(s *sim.Sim, bus *msg.Bus, name, out string, cfg *spec.Config) *Engine {
 // open lifecycle spans on it.
 func (e *Engine) SetTracer(tr *trace.Recorder) { e.tr = tr }
 
+// SetSpawner overrides how the engine spawns its processes (the supervisor
+// injects a panic-guarded spawner here). Call before Start.
+func (e *Engine) SetSpawner(spawn func(name string, fn func(*sim.Proc)) *sim.Proc) {
+	e.spawn = spawn
+}
+
+func (e *Engine) spawnProc(name string, fn func(*sim.Proc)) *sim.Proc {
+	if e.spawn != nil {
+		return e.spawn(name, fn)
+	}
+	return e.s.Spawn(name, fn)
+}
+
 // Evaluations returns the number of policy evaluations performed.
 func (e *Engine) Evaluations() int { return e.evaluations }
 
@@ -223,8 +241,8 @@ func (e *Engine) Suggestions() int { return e.suggestions }
 
 // Start spawns the engine processes.
 func (e *Engine) Start() {
-	e.recvProc = e.s.Spawn("decision-recv", e.run)
-	e.evalProc = e.s.Spawn("decision-eval", e.evalLoop)
+	e.recvProc = e.spawnProc("decision-recv", e.run)
+	e.evalProc = e.spawnProc("decision-eval", e.evalLoop)
 }
 
 // Stop interrupts the engine processes.
@@ -286,13 +304,21 @@ func (e *Engine) run(p *sim.Proc) {
 }
 
 // evalLoop is the evaluator process: it fires each binding's evaluation at
-// its configured frequency and ships the round's suggestions together.
+// its configured frequency and ships the round's suggestions together. A
+// restored engine resumes the checkpointed tick grid instead of starting a
+// fresh one at the restore instant.
 func (e *Engine) evalLoop(p *sim.Proc) {
 	tick := e.tickInterval()
 	for {
-		if err := p.Sleep(tick); err != nil {
+		next := e.s.Now() + tick
+		if e.nextEval > e.s.Now() {
+			next = e.nextEval
+		}
+		e.nextEval = next
+		if err := p.Sleep(next - e.s.Now()); err != nil {
 			return
 		}
+		e.nextEval = 0
 		round := e.EvaluateDue()
 		if len(round) > 0 {
 			e.suggestions += len(round)

@@ -2,10 +2,12 @@ package sensor
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dyflow/internal/core/spec"
 	"dyflow/internal/msg"
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
 	"dyflow/internal/stats"
 	"dyflow/internal/stream"
@@ -49,6 +51,55 @@ type Client struct {
 	self     SelfSource
 	procs    []*sim.Proc
 	sent     int
+	// stopping marks a deliberate Stop so interrupted workers exit instead
+	// of treating the interrupt as a detached stream and re-probing.
+	stopping bool
+	// states holds each worker's resumable position, keyed by worker name.
+	// It survives Stop/Start cycles and is what Snapshot/Restore carry.
+	states map[string]*WorkerState
+	spawn  func(name string, fn func(*sim.Proc)) *sim.Proc
+
+	mDropped *obs.CounterVec
+}
+
+// Worker phases. Each names the sleep (or blocking receive) a worker parks
+// in, so a checkpoint can record exactly where to resume.
+const (
+	// phaseInterval: sleeping out a poll interval (poll and self workers).
+	phaseInterval = "interval"
+	// phaseRead: sleeping out the disk-read cost with a pending shipment.
+	phaseRead = "read"
+	// phaseProbe: sleeping before re-probing for a stream incarnation.
+	phaseProbe = "probe"
+	// phaseRecv: blocked on the attached stream reader (no wake deadline).
+	phaseRecv = "recv"
+	// phaseDecode: sleeping out a record's decode cost with a pending
+	// shipment.
+	phaseDecode = "decode"
+)
+
+// PendingShip is a formulated-but-not-yet-shipped reading set: the payload
+// a worker is sleeping out a read/decode cost for. Checkpointed so a
+// restored worker ships it at the original instant instead of losing it.
+type PendingShip struct {
+	Readings []float64 `json:"readings"`
+	Step     int       `json:"step"`
+	GenAt    sim.Time  `json:"gen_at"`
+}
+
+// WorkerState is one worker's resumable position: which phase it is parked
+// in, the absolute wake instant of its current sleep, the self-poll step
+// counter, a mid-read/mid-decode pending shipment, and — for stream
+// workers — the reader backlog captured at checkpoint, replayed before
+// reattaching.
+type WorkerState struct {
+	Phase    string        `json:"phase,omitempty"`
+	WakeAt   sim.Time      `json:"wake_at,omitempty"`
+	Step     int           `json:"step,omitempty"`
+	Pending  *PendingShip  `json:"pending,omitempty"`
+	Buffered []stream.Step `json:"buffered,omitempty"`
+
+	reader *stream.Reader // live attachment; not serialized
 }
 
 // SetSelfSource attaches the orchestrator self-metric resolver used by
@@ -74,8 +125,38 @@ func NewClient(name string, env *task.Env, bus *msg.Bus, server string, cfg *spe
 // Sent returns the number of update batches shipped (for tests).
 func (c *Client) Sent() int { return c.sent }
 
-// Start spawns one worker process per (target, sensor-use) binding.
+// SetSpawner overrides how the client spawns worker processes (the
+// supervisor injects a panic-guarded spawner here). Call before Start.
+func (c *Client) SetSpawner(spawn func(name string, fn func(*sim.Proc)) *sim.Proc) {
+	c.spawn = spawn
+}
+
+// SetMetrics attaches the metrics registry: invalid (NaN/±Inf) sensor
+// readings are counted in dyflow_sensor_dropped_samples_total by reason.
+func (c *Client) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mDropped = reg.Counter("dyflow_sensor_dropped_samples_total",
+		"Sensor readings discarded before metric formulation.", "reason")
+}
+
+func (c *Client) spawnProc(name string, fn func(*sim.Proc)) *sim.Proc {
+	if c.spawn != nil {
+		return c.spawn(name, fn)
+	}
+	return c.env.Sim.Spawn(name, fn)
+}
+
+// Start spawns one worker process per (target, sensor-use) binding. Start
+// after Stop (or after Restore) resumes each worker from its recorded
+// state.
 func (c *Client) Start() {
+	c.stopping = false
+	c.procs = nil
+	if c.states == nil {
+		c.states = make(map[string]*WorkerState)
+	}
 	for _, tg := range c.targets {
 		for _, use := range tg.Sensors {
 			def := c.cfg.Sensors[use.SensorID]
@@ -84,27 +165,47 @@ func (c *Client) Start() {
 			}
 			tg, use, def := tg, use, def
 			pname := fmt.Sprintf("%s/%s.%s.%s", c.name, tg.Workflow, tg.Task, def.ID)
+			st := c.states[pname]
+			if st == nil {
+				st = &WorkerState{}
+				c.states[pname] = st
+			}
 			var body func(p *sim.Proc)
 			switch def.Source {
 			case spec.SourceTAUADIOS2, spec.SourceADIOS2:
-				body = func(p *sim.Proc) { c.streamWorker(p, tg, use, def) }
+				body = func(p *sim.Proc) { c.streamWorker(p, tg, use, def, st) }
 			case spec.SourceDiskScan, spec.SourceFile, spec.SourceErrorStatus, spec.SourceDB:
-				body = func(p *sim.Proc) { c.pollWorker(p, tg, use, def) }
+				body = func(p *sim.Proc) { c.pollWorker(p, tg, use, def, st) }
 			case spec.SourceDYFLOW:
-				body = func(p *sim.Proc) { c.selfWorker(p, tg, use, def) }
+				body = func(p *sim.Proc) { c.selfWorker(p, tg, use, def, st) }
 			default:
 				continue
 			}
-			c.procs = append(c.procs, c.env.Sim.Spawn(pname, body))
+			c.procs = append(c.procs, c.spawnProc(pname, body))
 		}
 	}
 }
 
-// Stop interrupts all worker processes.
+// Stop interrupts all worker processes. Idempotent; a later Start resumes
+// the workers from where they stopped.
 func (c *Client) Stop() {
+	c.stopping = true
 	for _, p := range c.procs {
 		p.Interrupt(nil)
 	}
+}
+
+// sleepPhase parks the worker in the given phase until the absolute wake
+// instant, recording both so a checkpoint taken mid-sleep can resume the
+// remaining time.
+func (c *Client) sleepPhase(p *sim.Proc, st *WorkerState, phase string, wake sim.Time) error {
+	st.Phase = phase
+	st.WakeAt = wake
+	d := wake - c.env.Sim.Now()
+	if d < 0 {
+		d = 0
+	}
+	return p.Sleep(d)
 }
 
 // streamName resolves the stream a streamed sensor reads.
@@ -121,43 +222,104 @@ func streamName(tg spec.MonitorTarget, def *spec.SensorDef) string {
 // streamWorker consumes a staging stream, re-attaching across task
 // restarts — the Monitor stage "sets (or resets) connections to input
 // streams ... when the workflow tasks start (or restart)".
-func (c *Client) streamWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) {
+func (c *Client) streamWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef, st *WorkerState) {
 	name := streamName(tg, def)
 	if name == "" {
 		return
 	}
+	// A restored mid-stream worker replays before rejoining the live
+	// stream: reattach immediately (the fresh reader buffers records
+	// produced from this instant on, standing in for the lost reader),
+	// finish the interrupted decode, then decode the checkpointed backlog.
+	if st.Pending != nil || len(st.Buffered) > 0 || st.Phase == phaseRecv {
+		if stm := c.env.Streams.Lookup(name); stm != nil {
+			st.reader = stm.Attach(4, stream.DropOldest)
+		}
+		if st.Pending != nil {
+			pend := *st.Pending
+			if err := c.sleepPhase(p, st, phaseDecode, st.WakeAt); err != nil {
+				return
+			}
+			st.Pending = nil
+			c.ship(tg, def, pend.Readings, pend.Step, pend.GenAt)
+		}
+		for len(st.Buffered) > 0 {
+			rec := st.Buffered[0]
+			st.Buffered = st.Buffered[1:]
+			if err := c.decodeShip(p, st, tg, use, def, rec); err != nil {
+				return
+			}
+		}
+		if st.reader != nil {
+			if !c.consume(p, st, tg, use, def) {
+				return
+			}
+			if err := c.sleepPhase(p, st, phaseProbe, c.env.Sim.Now()+c.costs.PollInterval); err != nil {
+				return
+			}
+		}
+	}
 	for {
-		st := c.env.Streams.Lookup(name)
-		if st == nil || st.Closed() {
-			if err := p.Sleep(c.costs.PollInterval); err != nil {
+		// Resume a checkpointed probe backoff before probing again.
+		if st.Phase == phaseProbe && st.WakeAt > c.env.Sim.Now() {
+			if err := c.sleepPhase(p, st, phaseProbe, st.WakeAt); err != nil {
+				return
+			}
+		}
+		stm := c.env.Streams.Lookup(name)
+		if stm == nil || stm.Closed() {
+			if err := c.sleepPhase(p, st, phaseProbe, c.env.Sim.Now()+c.costs.PollInterval); err != nil {
 				return
 			}
 			continue
 		}
-		r := st.Attach(4, stream.DropOldest)
-		for {
-			rec, err := r.Get(p)
-			if err != nil {
-				break // detached (task ended) or interrupted
-			}
-			// Decoding cost scales with the record's per-rank payload.
-			cost := c.costs.StreamBase + time.Duration(len(rec.Array))*c.costs.StreamPerValue
-			if err := p.Sleep(cost); err != nil {
-				r.Close()
-				return
-			}
-			readings, step, genAt := recordReadings(rec, use)
-			c.ship(tg, def, readings, step, genAt)
-		}
-		r.Close()
-		if p.Done() || p.Err() != nil {
+		st.reader = stm.Attach(4, stream.DropOldest)
+		if !c.consume(p, st, tg, use, def) {
 			return
 		}
 		// Wait before probing for the task's next incarnation.
-		if err := p.Sleep(c.costs.PollInterval); err != nil {
+		if err := c.sleepPhase(p, st, phaseProbe, c.env.Sim.Now()+c.costs.PollInterval); err != nil {
 			return
 		}
 	}
+}
+
+// consume drains the attached reader until it detaches. A false return
+// means the worker must exit (stopped or interrupted).
+func (c *Client) consume(p *sim.Proc, st *WorkerState, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) bool {
+	r := st.reader
+	for {
+		st.Phase = phaseRecv
+		st.WakeAt = 0
+		rec, err := r.Get(p)
+		if err != nil {
+			break // detached (task ended) or interrupted
+		}
+		if err := c.decodeShip(p, st, tg, use, def, rec); err != nil {
+			r.Close()
+			st.reader = nil
+			return false
+		}
+	}
+	r.Close()
+	st.reader = nil
+	return !c.stopping && !p.Done() && p.Err() == nil
+}
+
+// decodeShip sleeps out a record's decode cost (checkpointable as a
+// pending shipment) and ships the formulated readings.
+func (c *Client) decodeShip(p *sim.Proc, st *WorkerState, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef, rec stream.Step) error {
+	// Decoding cost scales with the record's per-rank payload.
+	cost := c.costs.StreamBase + time.Duration(len(rec.Array))*c.costs.StreamPerValue
+	readings, step, genAt := recordReadings(rec, use)
+	st.Pending = &PendingShip{Readings: readings, Step: step, GenAt: genAt}
+	if err := c.sleepPhase(p, st, phaseDecode, c.env.Sim.Now()+cost); err != nil {
+		return err
+	}
+	pend := *st.Pending
+	st.Pending = nil
+	c.ship(tg, def, pend.Readings, pend.Step, pend.GenAt)
+	return nil
 }
 
 // recordReadings extracts the per-process readings from a staged record.
@@ -175,9 +337,23 @@ func recordReadings(rec stream.Step, use spec.SensorUse) (readings []float64, st
 }
 
 // pollWorker periodically scans disk-based sources.
-func (c *Client) pollWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) {
+func (c *Client) pollWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef, st *WorkerState) {
+	// Finish a restored mid-read poll first: the readings were already
+	// taken, only the remaining disk-read time and the shipment are owed.
+	if st.Phase == phaseRead && st.Pending != nil {
+		pend := *st.Pending
+		if err := c.sleepPhase(p, st, phaseRead, st.WakeAt); err != nil {
+			return
+		}
+		st.Pending = nil
+		c.ship(tg, def, pend.Readings, pend.Step, pend.GenAt)
+	}
 	for {
-		if err := p.Sleep(c.costs.PollInterval); err != nil {
+		wake := c.env.Sim.Now() + c.costs.PollInterval
+		if st.Phase == phaseInterval && st.WakeAt > c.env.Sim.Now() {
+			wake = st.WakeAt // resume the checkpointed interval
+		}
+		if err := c.sleepPhase(p, st, phaseInterval, wake); err != nil {
 			return
 		}
 		readings, step, genAt, ok := c.pollOnce(tg, use, def)
@@ -185,10 +361,13 @@ func (c *Client) pollWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorU
 			continue
 		}
 		// Reading from disk costs real time before the update can ship.
-		if err := p.Sleep(c.costs.DiskRead); err != nil {
+		st.Pending = &PendingShip{Readings: readings, Step: step, GenAt: genAt}
+		if err := c.sleepPhase(p, st, phaseRead, c.env.Sim.Now()+c.costs.DiskRead); err != nil {
 			return
 		}
-		c.ship(tg, def, readings, step, genAt)
+		pend := *st.Pending
+		st.Pending = nil
+		c.ship(tg, def, pend.Readings, pend.Step, pend.GenAt)
 	}
 }
 
@@ -197,21 +376,24 @@ func (c *Client) pollWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorU
 // generation instant is the poll instant: the orchestrator's state IS the
 // data of interest, so there is no detection lag to model — which also
 // means the Monitor server counts every poll as a fresh detection.
-func (c *Client) selfWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef) {
+func (c *Client) selfWorker(p *sim.Proc, tg spec.MonitorTarget, use spec.SensorUse, def *spec.SensorDef, st *WorkerState) {
 	if c.self == nil || use.Info == "" {
 		return
 	}
-	step := 0
 	for {
-		if err := p.Sleep(c.costs.PollInterval); err != nil {
+		wake := c.env.Sim.Now() + c.costs.PollInterval
+		if st.Phase == phaseInterval && st.WakeAt > c.env.Sim.Now() {
+			wake = st.WakeAt // resume the checkpointed interval
+		}
+		if err := c.sleepPhase(p, st, phaseInterval, wake); err != nil {
 			return
 		}
 		v, ok := c.self.MetricValue(use.Info)
 		if !ok {
 			continue
 		}
-		step++
-		c.ship(tg, def, []float64{v}, step, c.env.Sim.Now())
+		st.Step++
+		c.ship(tg, def, []float64{v}, st.Step, c.env.Sim.Now())
 	}
 }
 
@@ -280,6 +462,7 @@ func (c *Client) pollOnce(tg spec.MonitorTarget, use spec.SensorUse, def *spec.S
 // ship formulates the client-side granularities from per-process readings
 // and sends them to the server.
 func (c *Client) ship(tg spec.MonitorTarget, def *spec.SensorDef, readings []float64, step int, genAt sim.Time) {
+	readings = c.sanitize(readings)
 	if len(readings) == 0 {
 		return
 	}
@@ -332,6 +515,35 @@ func (c *Client) ship(tg spec.MonitorTarget, def *spec.SensorDef, readings []flo
 	}
 	c.sent++
 	c.ep.Send(c.server, Batch{Client: c.name, Updates: updates})
+}
+
+// sanitize drops NaN and ±Inf readings before preprocessing: one poisoned
+// reading would otherwise contaminate every reduction downstream of it and
+// sit in policy history windows for a full window length. Dropped samples
+// are counted in dyflow_sensor_dropped_samples_total by reason. The input
+// slice may alias a shared staged array, so filtering copies.
+func (c *Client) sanitize(readings []float64) []float64 {
+	bad := 0
+	for _, v := range readings {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		return readings
+	}
+	clean := make([]float64, 0, len(readings)-bad)
+	for _, v := range readings {
+		switch {
+		case math.IsNaN(v):
+			c.mDropped.With("nan").Inc()
+		case math.IsInf(v, 0):
+			c.mDropped.With("inf").Inc()
+		default:
+			clean = append(clean, v)
+		}
+	}
+	return clean
 }
 
 // taskReduction picks the reduction op declared for task granularity,

@@ -37,6 +37,7 @@ type Server struct {
 	proc      *sim.Proc
 	onForward func([]Metric)
 	tr        *trace.Recorder
+	spawn     func(name string, fn func(*sim.Proc)) *sim.Proc
 }
 
 // NewServer creates the Monitor server reading from its own endpoint and
@@ -92,9 +93,19 @@ func (sv *Server) Latest(k Key) (Metric, bool) {
 	return m, ok
 }
 
+// SetSpawner overrides how the server spawns its process (the supervisor
+// injects a panic-guarded spawner here). Call before Start.
+func (sv *Server) SetSpawner(spawn func(name string, fn func(*sim.Proc)) *sim.Proc) {
+	sv.spawn = spawn
+}
+
 // Start spawns the server process.
 func (sv *Server) Start() {
-	sv.proc = sv.env.Spawn("monitor-server", sv.run)
+	if sv.spawn != nil {
+		sv.proc = sv.spawn("monitor-server", sv.run)
+	} else {
+		sv.proc = sv.env.Spawn("monitor-server", sv.run)
+	}
 }
 
 // Stop interrupts the server process.

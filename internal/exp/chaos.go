@@ -31,6 +31,15 @@ type ChaosOptions struct {
 	// CarveFailProb injects flaky carves into the resource manager with
 	// this per-call probability (exercising Actuation's retry path).
 	CarveFailProb float64
+	// OrchKills tears the orchestrator itself down this many times during
+	// the campaign window, restoring each time from its checkpoint store
+	// (CkptDir must be set). Kills are spread evenly across
+	// [KillStart, KillEnd] and deferred to the next step boundary where the
+	// arbiter is not mid-round.
+	OrchKills int
+	// CkptDir is the checkpoint store directory. When set, the orchestrator
+	// journals arbitration rounds there and OrchKills become possible.
+	CkptDir string
 	// Horizon bounds the run.
 	Horizon time.Duration
 }
@@ -60,6 +69,8 @@ type ChaosResult struct {
 	ScheduledKills int
 	Events         []cluster.CampaignEvent
 	InjectedCarves int
+	// OrchKills counts orchestrator teardown/restore cycles fired.
+	OrchKills int
 
 	// Recovery-layer counters (from the flight recorder).
 	Rounds        int64
@@ -86,6 +97,9 @@ func (r *ChaosResult) Write(w io.Writer) {
 	fmt.Fprintf(w, "Chaos campaign: Gray-Scott on %s, seed %d\n", r.Machine, r.Seed)
 	fmt.Fprintf(w, "  kills scheduled/fired: %d/%d, heals: %d, injected carve faults: %d\n",
 		r.ScheduledKills, countEvents(r.Events, "kill"), countEvents(r.Events, "heal"), r.InjectedCarves)
+	if r.Opts.OrchKills > 0 {
+		fmt.Fprintf(w, "  orchestrator kills (checkpoint restores): %d/%d\n", r.OrchKills, r.Opts.OrchKills)
+	}
 	for _, ev := range r.Events {
 		fmt.Fprintf(w, "    %s\n", ev)
 	}
@@ -119,9 +133,11 @@ type ChaosRun struct {
 	campaign *cluster.Campaign
 	faults   *resmgr.Faults
 
-	scheduled int
-	end       sim.Time
-	done      bool
+	scheduled  int
+	orchKillAt []sim.Time // pending orchestrator-kill deadlines, ascending
+	orchKills  int
+	end        sim.Time
+	done       bool
 }
 
 // NewChaosRun builds the Gray-Scott chaos world — restart policies spliced
@@ -161,6 +177,25 @@ func NewChaosRun(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosRun, erro
 		faults:    faults,
 		scheduled: campaign.Schedule(),
 	}
+
+	// Orchestrator kills: checkpoint store plus evenly spread deadlines
+	// (deterministic for a fixed option set, so killed and uninterrupted
+	// runs of the same seed stay comparable).
+	if opts.CkptDir != "" {
+		if err := w.AttachCheckpointStore(opts.CkptDir); err != nil {
+			return nil, err
+		}
+	}
+	if opts.OrchKills > 0 {
+		if opts.CkptDir == "" {
+			return nil, fmt.Errorf("chaos: OrchKills=%d requires CkptDir", opts.OrchKills)
+		}
+		span := opts.KillEnd - opts.KillStart
+		for i := 0; i < opts.OrchKills; i++ {
+			at := opts.KillStart + span*time.Duration(i+1)/time.Duration(opts.OrchKills+1)
+			cr.orchKillAt = append(cr.orchKillAt, sim.Time(at))
+		}
+	}
 	w.Launch(apps.GrayScottWorkflowID)
 	return cr, nil
 }
@@ -184,6 +219,20 @@ func (cr *ChaosRun) Step(dt time.Duration) (bool, error) {
 	}
 	if err := w.Sim.Run(w.Sim.Now() + sim.Time(dt)); err != nil {
 		return false, err
+	}
+	// Orchestrator kill: at a step boundary every process is parked, so the
+	// snapshot is quiescent — except a mid-round arbiter (parked in a settle
+	// or plan-cost sleep with un-serializable state on its stack). Defer the
+	// kill to the next boundary in that case; the deadline stays armed.
+	if len(cr.orchKillAt) > 0 && w.Sim.Now() >= cr.orchKillAt[0] && !w.Orch.Arbiter.Busy() {
+		cr.orchKillAt = cr.orchKillAt[1:]
+		if err := w.CrashOrchestrator(); err != nil {
+			return false, err
+		}
+		if err := w.RestoreOrchestrator(); err != nil {
+			return false, err
+		}
+		cr.orchKills++
 	}
 	gs := w.SV.Instance(apps.GrayScottWorkflowID, "GrayScott")
 	if gs != nil && gs.State().String() == "Completed" && w.WorkflowDone(apps.GrayScottWorkflowID) {
@@ -211,6 +260,7 @@ func (cr *ChaosRun) Result() *ChaosResult {
 		ScheduledKills: cr.scheduled,
 		Events:         cr.campaign.Events(),
 		InjectedCarves: cr.faults.Injected(),
+		OrchKills:      cr.orchKills,
 		Rounds:         tr.Counter("arbiter.rounds"),
 		FailedRounds:   tr.Counter("arbiter.failed_rounds"),
 		Retries:        tr.Counter("actuate.retries"),

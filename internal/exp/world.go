@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dyflow/internal/apps"
+	"dyflow/internal/ckpt"
 	"dyflow/internal/cluster"
 	"dyflow/internal/core"
 	"dyflow/internal/core/spec"
@@ -35,6 +36,11 @@ type World struct {
 	// the stream registry, and (once started) the orchestrator all publish
 	// into it. Serves `dyflow-exp serve`'s /metrics.
 	Metrics *obs.Registry
+
+	// The compiled spec and options are retained so a crashed orchestrator
+	// can be rebuilt for checkpoint restore.
+	orchCfg  *spec.Config
+	orchOpts core.Options
 }
 
 // NewWorld builds a world on the given machine with nodes allocated to the
@@ -78,9 +84,55 @@ func (w *World) StartOrchestration(xml string, opts core.Options) error {
 	if opts.Metrics == nil {
 		opts.Metrics = w.Metrics
 	}
+	w.orchCfg = cfg
+	w.orchOpts = opts
 	w.Orch = core.New(w.Env, w.SV, cfg, opts)
 	w.Rec.AttachOrchestrator(w.Orch)
 	w.Orch.Start()
+	return nil
+}
+
+// AttachCheckpointStore opens (or creates) a checkpoint store in dir and
+// attaches it to the running orchestrator: Checkpoint() saves there and
+// arbitration rounds are journaled as they complete.
+func (w *World) AttachCheckpointStore(dir string) error {
+	st, err := ckpt.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	w.Orch.SetStore(st)
+	return nil
+}
+
+// CrashOrchestrator checkpoints the orchestrator and then kills it:
+// detached from shared substrate callbacks and stopped. The checkpoint is
+// taken before Stop — teardown closes stream readers, and their buffered
+// backlog must make it into the snapshot. Call from driver context (between
+// Sim.Run calls) while the arbiter is not mid-round.
+func (w *World) CrashOrchestrator() error {
+	if err := w.Orch.Checkpoint(); err != nil {
+		return err
+	}
+	w.Orch.Detach()
+	w.Orch.Stop()
+	return nil
+}
+
+// RestoreOrchestrator builds a fresh orchestrator over the same compiled
+// spec, restores it from the crashed instance's checkpoint store (snapshot
+// plus journal replay), and starts it. The restored instance takes over the
+// recorder's plan/metric feeds; the shared metrics registry keeps its
+// accumulated series.
+func (w *World) RestoreOrchestrator() error {
+	store := w.Orch.Store()
+	o := core.New(w.Env, w.SV, w.orchCfg, w.orchOpts)
+	if err := core.Restore(o, store); err != nil {
+		return err
+	}
+	o.SetStore(store)
+	w.Orch = o
+	w.Rec.AttachOrchestrator(o)
+	o.Start()
 	return nil
 }
 

@@ -10,6 +10,7 @@ package msg
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"dyflow/internal/sim"
@@ -151,3 +152,69 @@ func (f *OrderFilter) Admit(env Envelope) bool {
 // Reset forgets a sender's high-water mark (used when a monitor client is
 // restarted and its sequence numbers start over).
 func (f *OrderFilter) Reset(sender string) { delete(f.last, sender) }
+
+// State returns the per-sender high-water marks (a copy) for
+// checkpointing. Restoring them alongside the bus endpoint sequence
+// counters keeps the filter consistent: restored filters with fresh
+// (restarted-at-zero) senders would drop every new message.
+func (f *OrderFilter) State() map[string]uint64 {
+	out := make(map[string]uint64, len(f.last))
+	for k, v := range f.last {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreState replaces the filter's high-water marks.
+func (f *OrderFilter) RestoreState(marks map[string]uint64) {
+	f.last = make(map[string]uint64, len(marks))
+	for k, v := range marks {
+		f.last[k] = v
+	}
+}
+
+// EndpointSnapshot is one endpoint's checkpointable state: its outgoing
+// sequence counter and the envelopes delivered but not yet consumed.
+type EndpointSnapshot struct {
+	Name  string
+	Seq   uint64
+	Queue []Envelope
+}
+
+// BusSnapshot is the bus's checkpointable state, endpoints sorted by name.
+type BusSnapshot struct {
+	Endpoints []EndpointSnapshot
+}
+
+// Snapshot captures every endpoint's sequence counter and queued
+// envelopes. In-flight deliveries (scheduled but not yet enqueued) are not
+// captured; with zero bus latency none exist at an event-boundary instant,
+// and with modeled latency a crash loses at most the messages on the wire —
+// which the retry/repoll layers above already tolerate.
+func (b *Bus) Snapshot() BusSnapshot {
+	var snap BusSnapshot
+	for name, ep := range b.endpoints {
+		snap.Endpoints = append(snap.Endpoints, EndpointSnapshot{
+			Name:  name,
+			Seq:   ep.seq,
+			Queue: ep.in.Items(),
+		})
+	}
+	sort.Slice(snap.Endpoints, func(i, j int) bool {
+		return snap.Endpoints[i].Name < snap.Endpoints[j].Name
+	})
+	return snap
+}
+
+// Restore re-creates the snapshot's endpoints on this bus: sequence
+// counters continue where they left off and undelivered envelopes are
+// re-queued in order. Call before starting the stage processes.
+func (b *Bus) Restore(snap BusSnapshot) {
+	for _, es := range snap.Endpoints {
+		ep := b.Endpoint(es.Name)
+		ep.seq = es.Seq
+		for _, env := range es.Queue {
+			ep.in.TryPut(env) // endpoint queues are unbounded: always accepted
+		}
+	}
+}

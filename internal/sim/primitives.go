@@ -155,6 +155,12 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 	return v, true
 }
 
+// Items returns a copy of the buffered items in delivery order without
+// consuming them (checkpoint inspection; the live queue is untouched).
+func (q *Queue[T]) Items() []T {
+	return append([]T(nil), q.items...)
+}
+
 // Drain removes and returns all buffered items without blocking.
 func (q *Queue[T]) Drain() []T {
 	items := q.items

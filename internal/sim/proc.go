@@ -39,6 +39,9 @@ type Proc struct {
 
 	doneSig *Signal
 	body    func(*Proc)
+	// guard, when set, absorbs a panic in the body: the process exits
+	// normally and the handler runs instead of the simulation failing.
+	guard func(recovered any)
 }
 
 // Spawn creates a process named name running fn and schedules it to start at
@@ -75,6 +78,17 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// SpawnGuarded is Spawn with a panic guard: if the process body panics, the
+// panic is absorbed instead of failing the whole simulation — the process
+// exits normally and onPanic runs with the recovered value, still holding
+// the process's turn (so it may schedule events, e.g. a supervised
+// restart). onPanic must not call blocking process operations.
+func (s *Sim) SpawnGuarded(name string, fn func(p *Proc), onPanic func(recovered any)) *Proc {
+	p := s.Spawn(name, fn)
+	p.guard = onPanic
+	return p
+}
+
 // run is the goroutine body: it parks until the kernel's first wake, runs
 // the body, and reports termination.
 func (p *Proc) run() {
@@ -83,6 +97,11 @@ func (p *Proc) run() {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
+					if p.guard != nil {
+						p.sim.logf("proc %q panicked (guarded): %v", p.name, r)
+						p.guard(r)
+						return
+					}
 					p.err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
 				}
 			}()

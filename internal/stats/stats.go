@@ -224,6 +224,19 @@ func (w *Window) Reset() {
 	w.count = 0
 }
 
+// Restore replaces the window contents with values (oldest first), keeping
+// only the newest Size readings if more are given — the checkpoint/restore
+// path round-trips Values().
+func (w *Window) Restore(values []float64) {
+	w.Reset()
+	if len(values) > w.size {
+		values = values[len(values)-w.size:]
+	}
+	for _, v := range values {
+		w.Push(v)
+	}
+}
+
 // Welford is a streaming mean/variance accumulator used by the experiment
 // harness for response-time accounting.
 type Welford struct {
@@ -270,4 +283,23 @@ func (a *Welford) StdDev() float64 {
 		return 0
 	}
 	return math.Sqrt(a.m2 / float64(a.n))
+}
+
+// WelfordState is the accumulator's checkpointable state.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator for checkpointing.
+func (a *Welford) State() WelfordState {
+	return WelfordState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// RestoreWelford rebuilds an accumulator from exported state.
+func RestoreWelford(st WelfordState) *Welford {
+	return &Welford{n: st.N, mean: st.Mean, m2: st.M2, min: st.Min, max: st.Max}
 }

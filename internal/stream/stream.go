@@ -92,6 +92,10 @@ func (r *Reader) TryGet() (Step, bool) {
 // Len returns the number of buffered records.
 func (r *Reader) Len() int { return r.buf.Len() }
 
+// Buffered returns a copy of the records currently buffered, in delivery
+// order, without consuming them (checkpoint inspection).
+func (r *Reader) Buffered() []Step { return r.buf.Items() }
+
 // Dropped returns the number of records discarded in DropOldest mode.
 func (r *Reader) Dropped() int { return r.dropped }
 
