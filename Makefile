@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos chaos-restart bench
+.PHONY: build test vet race verify chaos chaos-restart bench loadtest examples
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,18 @@ bench:
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_obs.json
 	@rm bench.out
 	@echo wrote BENCH_obs.json
+
+# Closed-loop load test of the campaign service (docs/SERVICE.md): an
+# embedded dyflow-serve under the race detector, 8 clients over 4 tenants,
+# a seed space small enough to exercise the result cache and a quota tight
+# enough to exercise backpressure. Writes throughput and latency
+# percentiles to BENCH_serve.json for the CI artifact.
+loadtest:
+	$(GO) run -race ./cmd/dyflow-serve loadtest \
+		-clients 8 -tenants 4 -per-client 4 -seeds 6 -tenant-quota 1 \
+		-out BENCH_serve.json
+
+# Build every example and run the quickstart end-to-end (CI smoke).
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart

@@ -1,0 +1,156 @@
+// Command dyflow-serve runs the multi-tenant campaign service and its
+// load-test harness:
+//
+//	dyflow-serve [-addr host:port] [-workers N] [-queue-depth N]
+//	             [-tenant-quota N] [-ckpt-dir DIR]
+//	dyflow-serve loadtest [-addr host:port] [-clients N] [-per-client N]
+//	             [-seeds N] [-scenario S] [-out BENCH_serve.json] ...
+//
+// The service accepts campaign submissions over HTTP (POST /v1/runs),
+// executes them on a sharded worker pool of deterministic simulations, and
+// serves status, artifacts, and its own /metrics. With -ckpt-dir it
+// journals every acknowledged submission so a killed server resumes
+// pending work on restart. -addr host:0 binds a free port; the bound
+// address is printed. SIGINT/SIGTERM shut down gracefully: HTTP drains,
+// running simulations abort, and queued work is checkpointed.
+//
+// loadtest drives closed-loop load — by default against an embedded
+// in-process server so one command measures the whole stack — and writes
+// throughput and latency percentiles as JSON. docs/SERVICE.md documents
+// both modes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyflow/internal/server"
+	"dyflow/internal/server/loadgen"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
+		if err := loadtest(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := serve(os.Args[1:]); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dyflow-serve:", err)
+	os.Exit(1)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("dyflow-serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address (host:0 picks a free port)")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "bound on queued runs before 429 backpressure (0 = 64)")
+	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight run cap (0 = 8, negative = unlimited)")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory: persist the queue and completed runs across restarts")
+	fs.Parse(args)
+
+	srv, err := server.New(server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		TenantQuota: *tenantQuota,
+		CkptDir:     *ckptDir,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dyflow-serve: listening on http://%s (POST /v1/runs, GET /v1/runs, /metrics, /healthz)\n", bound)
+	if *ckptDir != "" {
+		fmt.Printf("dyflow-serve: checkpointing to %s\n", *ckptDir)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Println("dyflow-serve: shutting down (draining HTTP, checkpointing queue)")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(sctx)
+}
+
+func loadtest(args []string) error {
+	fs := flag.NewFlagSet("dyflow-serve loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "", "target server address; empty = run an embedded server")
+	clients := fs.Int("clients", 4, "concurrent closed-loop clients (one tenant each unless -tenants)")
+	tenants := fs.Int("tenants", 0, "spread clients over this many tenants (0 = one per client)")
+	perClient := fs.Int("per-client", 8, "jobs each client drives to completion")
+	seeds := fs.Int("seeds", 0, "seed-space size (< clients*per-client forces cache hits; 0 = all distinct)")
+	scenario := fs.String("scenario", "quickstart", "job scenario to submit")
+	machine := fs.String("machine", "", "job machine (empty = server default)")
+	workers := fs.Int("workers", 0, "embedded server: worker-pool size (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "embedded server: queue bound (0 = 64)")
+	tenantQuota := fs.Int("tenant-quota", 0, "embedded server: per-tenant quota (0 = 8)")
+	out := fs.String("out", "", "write the result JSON here (default stdout only)")
+	fs.Parse(args)
+
+	target := *addr
+	var srv *server.Server
+	if target == "" {
+		var err error
+		srv, err = server.New(server.Config{
+			Workers:     *workers,
+			QueueDepth:  *queueDepth,
+			TenantQuota: *tenantQuota,
+		})
+		if err != nil {
+			return err
+		}
+		if target, err = srv.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		fmt.Printf("dyflow-serve: loadtest against embedded server on %s\n", target)
+	}
+
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:      target,
+		Clients:   *clients,
+		Tenants:   *tenants,
+		PerClient: *perClient,
+		Seeds:     *seeds,
+		Scenario:  *scenario,
+		Machine:   *machine,
+	})
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(ctx); err == nil {
+			err = serr
+		}
+	}
+	if res != nil {
+		fmt.Printf("loadtest: %d clients × %d jobs: %d done (%d cached, %d backpressured) in %.2fs — %.1f jobs/s, p50 %.3fs p90 %.3fs p99 %.3fs\n",
+			res.Clients, *perClient, res.Completed, res.Cached, res.Rejected429,
+			res.WallSeconds, res.JobsPerSec, res.LatencyP50, res.LatencyP90, res.LatencyP99)
+		if *out != "" {
+			data, merr := json.MarshalIndent(res, "", "  ")
+			if merr != nil {
+				return merr
+			}
+			if werr := os.WriteFile(*out, append(data, '\n'), 0o644); werr != nil {
+				return werr
+			}
+			fmt.Printf("loadtest: wrote %s\n", *out)
+		}
+	}
+	return err
+}

@@ -40,6 +40,9 @@ type ChaosOptions struct {
 	// CkptDir is the checkpoint store directory. When set, the orchestrator
 	// journals arbitration rounds there and OrchKills become possible.
 	CkptDir string
+	// XML, when non-empty, replaces the generated orchestration document
+	// (used as-is: no recovery policies are spliced in).
+	XML string
 	// Horizon bounds the run.
 	Horizon time.Duration
 }
@@ -153,7 +156,11 @@ func NewChaosRun(seed int64, m apps.Machine, opts ChaosOptions) (*ChaosRun, erro
 	if err := w.SV.Compose(apps.GrayScottWorkflow(m)); err != nil {
 		return nil, err
 	}
-	if err := w.StartOrchestration(spliceRecovery(GrayScottXML(m)), core.Options{}); err != nil {
+	xml := opts.XML
+	if xml == "" {
+		xml = spliceRecovery(GrayScottXML(m))
+	}
+	if err := w.StartOrchestration(xml, core.Options{}); err != nil {
 		return nil, err
 	}
 
@@ -218,6 +225,9 @@ func (cr *ChaosRun) Step(dt time.Duration) (bool, error) {
 		return true, nil
 	}
 	if err := w.Sim.Run(w.Sim.Now() + sim.Time(dt)); err != nil {
+		return false, err
+	}
+	if err := w.progress(); err != nil {
 		return false, err
 	}
 	// Orchestrator kill: at a step boundary every process is parked, so the

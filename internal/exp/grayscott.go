@@ -139,6 +139,12 @@ type GSVariant struct {
 	// NoHistory drops the policies' sliding-window pre-analysis so they
 	// evaluate instantaneous values.
 	NoHistory bool
+	// XML, when non-empty, replaces the generated orchestration document —
+	// the campaign service threads user-submitted specs through here.
+	XML string
+	// Configure, when set, is called on the freshly built world before the
+	// run starts (the campaign service attaches its progress/cancel hook).
+	Configure func(*World) error
 }
 
 // RunGrayScott executes the under-provisioning experiment (Figures 8 and
@@ -162,7 +168,16 @@ func RunGrayScottVariant(seed int64, m apps.Machine, withDyflow bool, v GSVarian
 		if v.Arbiter != nil {
 			opts.Arbiter = *v.Arbiter
 		}
-		if err := w.StartOrchestration(grayScottXML(m, !v.NoHistory), opts); err != nil {
+		xml := v.XML
+		if xml == "" {
+			xml = grayScottXML(m, !v.NoHistory)
+		}
+		if err := w.StartOrchestration(xml, opts); err != nil {
+			return nil, err
+		}
+	}
+	if v.Configure != nil {
+		if err := v.Configure(w); err != nil {
 			return nil, err
 		}
 	}
@@ -246,6 +261,12 @@ func paceBeforeAfter(rec *Recorder, workflow string) (before, after float64) {
 // every task paces below the release floor and DEC_ON_PACE shrinks the
 // analyses until the pace re-enters the desired band.
 func RunGrayScottOverProvisioned(seed int64, m apps.Machine) (*GSResult, error) {
+	return RunGrayScottOverProvisionedVariant(seed, m, GSVariant{})
+}
+
+// RunGrayScottOverProvisionedVariant executes the over-provisioning variant
+// with the GSVariant hooks (XML override, world configuration) applied.
+func RunGrayScottOverProvisionedVariant(seed int64, m apps.Machine, v GSVariant) (*GSResult, error) {
 	cfg := apps.GrayScottConfigFor(m)
 	w, err := NewWorld(seed, m, cfg.Nodes+4)
 	if err != nil {
@@ -284,8 +305,17 @@ func RunGrayScottOverProvisioned(seed int64, m apps.Machine) (*GSResult, error) 
 	// before evaluation resumes.
 	acfg := arbiter.DefaultConfig()
 	acfg.SettleDelay = 4 * time.Minute
-	if err := w.StartOrchestration(GrayScottXML(m), core.Options{Arbiter: acfg}); err != nil {
+	xml := v.XML
+	if xml == "" {
+		xml = GrayScottXML(m)
+	}
+	if err := w.StartOrchestration(xml, core.Options{Arbiter: acfg}); err != nil {
 		return nil, err
+	}
+	if v.Configure != nil {
+		if err := v.Configure(w); err != nil {
+			return nil, err
+		}
 	}
 	w.Launch(apps.GrayScottWorkflowID)
 	end, err := w.RunUntilWorkflowDone(apps.GrayScottWorkflowID, 4*cfg.TimeLimit)

@@ -95,6 +95,22 @@ type LAMMPSResult struct {
 // withDyflow=false runs the baseline, where the failed workflow just stays
 // down.
 func RunLAMMPS(seed int64, m apps.Machine, withDyflow bool) (*LAMMPSResult, error) {
+	return RunLAMMPSVariant(seed, m, withDyflow, LAMMPSVariant{})
+}
+
+// LAMMPSVariant parameterizes RunLAMMPSVariant — the reusable-job form of
+// the failure-resilience experiment.
+type LAMMPSVariant struct {
+	// XML, when non-empty, replaces the generated orchestration document.
+	XML string
+	// Configure, when set, is called on the freshly built world before the
+	// run starts.
+	Configure func(*World) error
+}
+
+// RunLAMMPSVariant executes the failure-resilience experiment with the
+// variant hooks applied.
+func RunLAMMPSVariant(seed int64, m apps.Machine, withDyflow bool, v LAMMPSVariant) (*LAMMPSResult, error) {
 	cfg := apps.LAMMPSConfigFor(m)
 	w, err := NewWorld(seed, m, cfg.Nodes)
 	if err != nil {
@@ -104,7 +120,16 @@ func RunLAMMPS(seed int64, m apps.Machine, withDyflow bool) (*LAMMPSResult, erro
 		return nil, err
 	}
 	if withDyflow {
-		if err := w.StartOrchestration(LAMMPSXML(m), core.Options{}); err != nil {
+		xml := v.XML
+		if xml == "" {
+			xml = LAMMPSXML(m)
+		}
+		if err := w.StartOrchestration(xml, core.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	if v.Configure != nil {
+		if err := v.Configure(w); err != nil {
 			return nil, err
 		}
 	}
@@ -118,6 +143,9 @@ func RunLAMMPS(seed int64, m apps.Machine, withDyflow bool) (*LAMMPSResult, erro
 	horizon := 3 * time.Hour
 	for w.Sim.Now() < horizon {
 		if err := w.Run(w.Sim.Now() + 10*time.Second); err != nil {
+			return nil, err
+		}
+		if err := w.progress(); err != nil {
 			return nil, err
 		}
 		inst := w.SV.Instance(apps.LAMMPSWorkflowID, "LAMMPS")

@@ -37,6 +37,13 @@ type World struct {
 	// into it. Serves `dyflow-exp serve`'s /metrics.
 	Metrics *obs.Registry
 
+	// OnProgress, when set, is invoked after every incremental advance of
+	// the driver loops (RunUntilWorkflowDone, the scenario step loops,
+	// ChaosRun.Step) with the current virtual time. Returning a non-nil
+	// error aborts the run with that error — the campaign service uses this
+	// for live progress reporting and cooperative cancellation.
+	OnProgress func(now sim.Time) error
+
 	// The compiled spec and options are retained so a crashed orchestrator
 	// can be rebuilt for checkpoint restore.
 	orchCfg  *spec.Config
@@ -150,6 +157,14 @@ func (w *World) Launch(workflows ...string) {
 // Run advances the world to the horizon.
 func (w *World) Run(horizon time.Duration) error { return w.Sim.Run(horizon) }
 
+// progress fires the OnProgress hook (when set) with the current time.
+func (w *World) progress() error {
+	if w.OnProgress == nil {
+		return nil
+	}
+	return w.OnProgress(w.Sim.Now())
+}
+
 // WorkflowDone reports whether every composed task of the workflow has
 // terminated (none running).
 func (w *World) WorkflowDone(workflowID string) bool {
@@ -169,6 +184,9 @@ func (w *World) RunUntilWorkflowDone(workflowID string, horizon time.Duration) (
 	for w.Sim.Now() < horizon {
 		next := w.Sim.Now() + poll
 		if err := w.Sim.Run(next); err != nil {
+			return 0, err
+		}
+		if err := w.progress(); err != nil {
 			return 0, err
 		}
 		running := len(w.SV.RunningTasks(workflowID)) > 0

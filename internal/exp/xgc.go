@@ -170,8 +170,24 @@ func classifyXGCPlan(rec arbiter.Record) string {
 	return "other"
 }
 
+// XGCVariant parameterizes RunXGCVariant — the reusable-job form of the
+// alternation experiment.
+type XGCVariant struct {
+	// XML, when non-empty, replaces the generated orchestration document.
+	XML string
+	// Configure, when set, is called on the freshly built world before the
+	// run starts.
+	Configure func(*World) error
+}
+
 // RunXGC executes the science-driven alternation experiment (Figure 6).
 func RunXGC(seed int64, m apps.Machine) (*XGCResult, error) {
+	return RunXGCVariant(seed, m, XGCVariant{})
+}
+
+// RunXGCVariant executes the alternation experiment with the variant hooks
+// applied.
+func RunXGCVariant(seed int64, m apps.Machine, v XGCVariant) (*XGCResult, error) {
 	cfg := apps.XGCConfigFor(m)
 	w, err := NewWorld(seed, m, cfg.Nodes)
 	if err != nil {
@@ -195,8 +211,17 @@ func RunXGC(seed int64, m apps.Machine) (*XGCResult, error) {
 		PlanCost:     100 * time.Millisecond,
 		GatherWindow: 5 * time.Second,
 	}}
-	if err := w.StartOrchestration(XGCXML(m), opts); err != nil {
+	xml := v.XML
+	if xml == "" {
+		xml = XGCXML(m)
+	}
+	if err := w.StartOrchestration(xml, opts); err != nil {
 		return nil, err
+	}
+	if v.Configure != nil {
+		if err := v.Configure(w); err != nil {
+			return nil, err
+		}
 	}
 	w.Launch(apps.XGCWorkflowID)
 
@@ -205,6 +230,9 @@ func RunXGC(seed int64, m apps.Machine) (*XGCResult, error) {
 	horizon := 6 * time.Hour
 	for w.Sim.Now() < horizon {
 		if err := w.Run(w.Sim.Now() + 10*time.Second); err != nil {
+			return nil, err
+		}
+		if err := w.progress(); err != nil {
 			return nil, err
 		}
 		step, _ := w.Env.FS.ReadVar(apps.XGCProgressKey, "step")

@@ -1,0 +1,285 @@
+// Package loadgen is the campaign service's closed-loop load generator:
+// N concurrent clients, each its own tenant, submit jobs against a
+// dyflow-serve endpoint, poll them to completion, and fetch an artifact —
+// measuring end-to-end campaign latency and throughput rather than raw
+// HTTP rates. Backpressure (429) is handled the way a well-behaved client
+// would: back off and resubmit, counting the rejection.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dyflow/internal/exp"
+	"dyflow/internal/obs"
+	"dyflow/internal/server"
+)
+
+// Options shapes a load run.
+type Options struct {
+	// Addr is the dyflow-serve address (host:port).
+	Addr string
+	// Clients is the number of concurrent closed-loop clients; each is its
+	// own tenant ("tenant-0" …) unless Tenants says otherwise. Default 4.
+	Clients int
+	// Tenants spreads the clients over this many tenants (client c is
+	// tenant c%Tenants) — fewer tenants than clients makes concurrent
+	// same-tenant submissions contend on the per-tenant quota. 0 means one
+	// tenant per client.
+	Tenants int
+	// PerClient is how many jobs each client drives to completion. Default 8.
+	PerClient int
+	// Scenario is the job scenario to submit (default quickstart).
+	Scenario string
+	// Machine is the job machine ("" means the server default, summit).
+	Machine string
+	// Seeds is the seed-space size: job n uses seed n%Seeds, so Seeds
+	// smaller than the total job count forces cache hits. 0 means every
+	// job gets a distinct seed (no hits).
+	Seeds int
+	// PollEvery is the status-poll interval. Default 5ms.
+	PollEvery time.Duration
+	// Metrics, when set, receives the dyflow_loadgen_* families.
+	Metrics *obs.Registry
+}
+
+// Result is the aggregate outcome of a load run, JSON-shaped for
+// BENCH_serve.json.
+type Result struct {
+	Clients     int     `json:"clients"`
+	Jobs        int     `json:"jobs"`
+	Completed   int     `json:"completed"`
+	Cached      int     `json:"cached"`
+	Rejected429 int     `json:"rejected_429"`
+	Errors      int     `json:"errors"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+
+	// End-to-end latency (submission accepted → done observed), seconds.
+	LatencyP50 float64 `json:"latency_p50_s"`
+	LatencyP90 float64 `json:"latency_p90_s"`
+	LatencyP99 float64 `json:"latency_p99_s"`
+	LatencyMax float64 `json:"latency_max_s"`
+}
+
+// gen is one load run in flight.
+type gen struct {
+	o      Options
+	client *http.Client
+	base   string
+
+	completed, cached, rejected, errors *obs.Counter
+	latency                             *obs.Histogram
+
+	mu        sync.Mutex
+	res       *Result
+	latencies []float64
+}
+
+// Run drives the load and blocks until every job reaches a verdict.
+func Run(o Options) (*Result, error) {
+	if o.Clients == 0 {
+		o.Clients = 4
+	}
+	if o.PerClient == 0 {
+		o.PerClient = 8
+	}
+	if o.Scenario == "" {
+		o.Scenario = exp.ScenarioQuickstart
+	}
+	if o.PollEvery == 0 {
+		o.PollEvery = 5 * time.Millisecond
+	}
+	g := &gen{
+		o:      o,
+		client: &http.Client{Timeout: 30 * time.Second},
+		base:   "http://" + o.Addr,
+		res:    &Result{Clients: o.Clients, Jobs: o.Clients * o.PerClient},
+	}
+	if o.Metrics != nil {
+		g.completed = o.Metrics.Counter("dyflow_loadgen_completions_total",
+			"Jobs driven to done.").With()
+		g.cached = o.Metrics.Counter("dyflow_loadgen_cache_hits_total",
+			"Jobs answered from the server's result cache.").With()
+		g.rejected = o.Metrics.Counter("dyflow_loadgen_backpressure_total",
+			"429 responses absorbed (quota or queue-full).").With()
+		g.errors = o.Metrics.Counter("dyflow_loadgen_errors_total",
+			"Jobs that failed or errored.").With()
+		g.latency = o.Metrics.Histogram("dyflow_loadgen_latency_seconds",
+			"End-to-end job latency.", nil).With()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g.runClient(c)
+		}(c)
+	}
+	wg.Wait()
+
+	res := g.res
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.JobsPerSec = float64(res.Completed) / res.WallSeconds
+	}
+	sort.Float64s(g.latencies)
+	res.LatencyP50 = quantile(g.latencies, 0.50)
+	res.LatencyP90 = quantile(g.latencies, 0.90)
+	res.LatencyP99 = quantile(g.latencies, 0.99)
+	if n := len(g.latencies); n > 0 {
+		res.LatencyMax = g.latencies[n-1]
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("loadgen: %d of %d jobs failed", res.Errors, res.Jobs)
+	}
+	return res, nil
+}
+
+// runClient is one closed-loop client: submit, await, fetch, repeat.
+func (g *gen) runClient(c int) {
+	t := c
+	if g.o.Tenants > 0 {
+		t = c % g.o.Tenants
+	}
+	tenant := fmt.Sprintf("tenant-%d", t)
+	for i := 0; i < g.o.PerClient; i++ {
+		seed := int64(c*g.o.PerClient + i)
+		if g.o.Seeds > 0 {
+			seed %= int64(g.o.Seeds)
+		}
+		if err := g.driveJob(tenant, seed); err != nil {
+			g.mu.Lock()
+			g.res.Errors++
+			g.mu.Unlock()
+			g.errors.Inc()
+		}
+	}
+}
+
+func (g *gen) driveJob(tenant string, seed int64) error {
+	st, err := g.submit(tenant, seed)
+	if err != nil {
+		return err
+	}
+	submitted := time.Now()
+	for !st.State.Terminal() {
+		time.Sleep(g.o.PollEvery)
+		if st, err = g.status(st.ID); err != nil {
+			return err
+		}
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("run %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	// Fetch the report so the measured loop covers artifact delivery too.
+	blob, err := g.get(fmt.Sprintf("/v1/runs/%s/artifacts/%s", st.ID, exp.ArtifactReport))
+	if err != nil {
+		return err
+	}
+	if len(blob) == 0 {
+		return fmt.Errorf("run %s: empty report artifact", st.ID)
+	}
+	lat := time.Since(submitted).Seconds()
+	g.mu.Lock()
+	g.res.Completed++
+	g.latencies = append(g.latencies, lat)
+	if st.Cached {
+		g.res.Cached++
+	}
+	g.mu.Unlock()
+	g.completed.Inc()
+	g.latency.Observe(lat)
+	if st.Cached {
+		g.cached.Inc()
+	}
+	return nil
+}
+
+// submit posts one job, absorbing 429 backpressure with retries.
+func (g *gen) submit(tenant string, seed int64) (server.Status, error) {
+	body, err := json.Marshal(server.SubmitRequest{
+		Tenant: tenant,
+		Job:    exp.Job{Scenario: g.o.Scenario, Machine: g.o.Machine, Seed: seed},
+	})
+	if err != nil {
+		return server.Status{}, err
+	}
+	backoff := g.o.PollEvery
+	for {
+		resp, err := g.client.Post(g.base+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return server.Status{}, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return server.Status{}, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			g.mu.Lock()
+			g.res.Rejected429++
+			g.mu.Unlock()
+			g.rejected.Inc()
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		case resp.StatusCode >= 300:
+			return server.Status{}, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(data))
+		}
+		var st server.Status
+		return st, json.Unmarshal(data, &st)
+	}
+}
+
+func (g *gen) status(id string) (server.Status, error) {
+	data, err := g.get("/v1/runs/" + id)
+	if err != nil {
+		return server.Status{}, err
+	}
+	var st server.Status
+	return st, json.Unmarshal(data, &st)
+}
+
+func (g *gen) get(path string) ([]byte, error) {
+	resp, err := g.client.Get(g.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+// quantile is the nearest-rank quantile of sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,46 @@
+package server
+
+import "dyflow/internal/obs"
+
+// metrics is the campaign service's own family set (the `dyflow_server_*`
+// catalog in docs/OBSERVABILITY.md). It lives in the server's registry,
+// which is strictly separate from the per-run world registries — each job
+// simulates into a private obs.Registry that ships as the run's "metrics"
+// artifact, so concurrent campaigns never share series.
+type metrics struct {
+	submissions  *obs.CounterVec // {tenant} accepted submissions
+	cacheHits    *obs.CounterVec // {tenant} submissions served from the result cache
+	quotaRejects *obs.CounterVec // {tenant} 429s from the per-tenant quota
+	queueRejects *obs.Counter    // 429s from queue backpressure
+	queueDepth   *obs.GaugeVec   // {shard}
+	active       *obs.Gauge      // worker slots currently simulating
+	runsTotal    *obs.CounterVec // {state} terminal transitions
+	runSeconds   *obs.Histogram  // wall-clock execution time (non-cached)
+	requeued     *obs.Counter    // pending runs resumed after a restart
+	httpReqs     *obs.CounterVec // {route}
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		submissions: reg.Counter("dyflow_server_submissions_total",
+			"Accepted campaign submissions.", "tenant"),
+		cacheHits: reg.Counter("dyflow_server_cache_hits_total",
+			"Submissions served from the deterministic result cache without re-simulating.", "tenant"),
+		quotaRejects: reg.Counter("dyflow_server_quota_rejections_total",
+			"Submissions rejected by the per-tenant in-flight quota.", "tenant"),
+		queueRejects: reg.Counter("dyflow_server_queue_rejections_total",
+			"Submissions rejected because the run queue was full.").With(),
+		queueDepth: reg.Gauge("dyflow_server_queue_depth",
+			"Queued runs per queue shard.", "shard"),
+		active: reg.Gauge("dyflow_server_active_runs",
+			"Worker slots currently executing a simulation.").With(),
+		runsTotal: reg.Counter("dyflow_server_runs_total",
+			"Runs reaching a terminal state.", "state"),
+		runSeconds: reg.Histogram("dyflow_server_run_duration_seconds",
+			"Wall-clock execution time of non-cached runs.", nil).With(),
+		requeued: reg.Counter("dyflow_server_restore_requeued_total",
+			"Pending runs requeued from the checkpoint store after a restart.").With(),
+		httpReqs: reg.Counter("dyflow_server_http_requests_total",
+			"API requests by route.", "route"),
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"time"
+
+	"dyflow/internal/ckpt"
+	"dyflow/internal/exp"
+)
+
+// Persistence: the service journals every acknowledged state transition
+// through a ckpt.Store — a submission is journaled before its 2xx response
+// is written, completion/cancellation when they happen — and snapshots the
+// whole run table on graceful shutdown and after every restore (compacting
+// the journal). A killed server therefore restores every acknowledged
+// submission: done runs with their artifacts, queued and running runs back
+// onto the queue.
+const (
+	kindState  = "server.state"  // snapshot: the full run table
+	kindSubmit = "server.submit" // journal: one acknowledged submission
+	kindDone   = "server.done"   // journal: one terminal transition
+	kindCancel = "server.cancel" // journal: one queued-run cancellation
+)
+
+// persistedRun is a Run's durable form. Artifacts are carried only by
+// non-cached done runs — cached runs resolve theirs from the run they
+// duplicate (same job key) on restore, so N cache hits cost one copy.
+type persistedRun struct {
+	ID          string            `json:"id"`
+	Tenant      string            `json:"tenant"`
+	Job         exp.Job           `json:"job"`
+	State       RunState          `json:"state"`
+	Cached      bool              `json:"cached,omitempty"`
+	Err         string            `json:"error,omitempty"`
+	Converged   bool              `json:"converged,omitempty"`
+	SimEndNs    int64             `json:"sim_end_ns,omitempty"`
+	Artifacts   map[string][]byte `json:"artifacts,omitempty"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	StartedAt   time.Time         `json:"started_at,omitempty"`
+	FinishedAt  time.Time         `json:"finished_at,omitempty"`
+}
+
+// persistedState is the snapshot payload: every run in submission order.
+type persistedState struct {
+	NextID int            `json:"next_id"`
+	Runs   []persistedRun `json:"runs"`
+}
+
+func (r *Run) persisted(withArtifacts bool) persistedRun {
+	p := persistedRun{
+		ID:          r.ID,
+		Tenant:      r.Tenant,
+		Job:         r.Job,
+		State:       r.State,
+		Cached:      r.Cached,
+		Err:         r.Err,
+		Converged:   r.Converged,
+		SimEndNs:    int64(r.SimEnd),
+		SubmittedAt: r.SubmittedAt,
+		StartedAt:   r.StartedAt,
+		FinishedAt:  r.FinishedAt,
+	}
+	if withArtifacts && !r.Cached {
+		p.Artifacts = r.Artifacts
+	}
+	return p
+}
+
+func (s *Server) applyPersisted(p persistedRun) *Run {
+	r := &Run{
+		ID:          p.ID,
+		Tenant:      p.Tenant,
+		Job:         p.Job,
+		Shard:       s.queue.shardFor(p.Tenant),
+		State:       p.State,
+		Cached:      p.Cached,
+		Err:         p.Err,
+		Converged:   p.Converged,
+		SimEnd:      time.Duration(p.SimEndNs),
+		Artifacts:   p.Artifacts,
+		SubmittedAt: p.SubmittedAt,
+		StartedAt:   p.StartedAt,
+		FinishedAt:  p.FinishedAt,
+	}
+	r.simNow.Store(p.SimEndNs)
+	return r
+}
+
+// journal appends one entry, if persistence is on.
+func (s *Server) journal(kind string, v any) error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Append(kind, v)
+}
+
+// snapshotLocked persists the full run table, superseding the journal.
+// Caller holds the server mutex.
+func (s *Server) snapshotLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	st := persistedState{NextID: s.nextID}
+	for _, id := range s.order {
+		st.Runs = append(st.Runs, s.runs[id].persisted(true))
+	}
+	blob, err := ckpt.Encode(kindState, st)
+	if err != nil {
+		return err
+	}
+	return s.store.SaveSnapshot(blob)
+}
+
+// restore rebuilds the run table from the snapshot plus the journal tail,
+// requeues every run that had not finished (running runs go back to
+// queued: the simulation is deterministic, so re-executing from the start
+// is safe), and snapshots immediately to compact. Replay is idempotent by
+// run ID, so an entry duplicated across snapshot and journal is harmless.
+func (s *Server) restore(dir string) error {
+	store, err := ckpt.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	s.store = store
+
+	blob, err := store.LoadSnapshot()
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if blob != nil {
+		var st persistedState
+		if err := ckpt.Decode(blob, kindState, &st); err != nil {
+			return err
+		}
+		s.nextID = st.NextID
+		for _, p := range st.Runs {
+			r := s.applyPersisted(p)
+			s.runs[r.ID] = r
+			s.order = append(s.order, r.ID)
+		}
+	}
+	err = store.Replay(func(rec ckpt.Record) error {
+		switch rec.Kind {
+		case kindSubmit:
+			var p persistedRun
+			if err := json.Unmarshal(rec.Data, &p); err != nil {
+				return err
+			}
+			if _, dup := s.runs[p.ID]; dup {
+				return nil
+			}
+			r := s.applyPersisted(p)
+			s.runs[r.ID] = r
+			s.order = append(s.order, r.ID)
+		case kindDone, kindCancel:
+			var p persistedRun
+			if err := json.Unmarshal(rec.Data, &p); err != nil {
+				return err
+			}
+			r, ok := s.runs[p.ID]
+			if !ok || r.State.Terminal() {
+				return nil
+			}
+			r.State = p.State
+			r.Err = p.Err
+			r.Converged = p.Converged
+			r.SimEnd = time.Duration(p.SimEndNs)
+			r.simNow.Store(p.SimEndNs)
+			r.FinishedAt = p.FinishedAt
+			if p.Artifacts != nil {
+				r.Artifacts = p.Artifacts
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Index completed runs for the cache, then give cached runs (persisted
+	// without artifacts) their bytes back from the run they duplicated.
+	for _, id := range s.order {
+		r := s.runs[id]
+		if r.State == StateDone && !r.Cached && r.Artifacts != nil {
+			if _, have := s.cache[r.Job.Key()]; !have {
+				s.cache[r.Job.Key()] = r
+			}
+		}
+	}
+	for _, id := range s.order {
+		r := s.runs[id]
+		if r.Cached && r.Artifacts == nil {
+			if src := s.cache[r.Job.Key()]; src != nil {
+				r.Artifacts = src.Artifacts
+			}
+		}
+	}
+
+	// Requeue everything that had not finished. A run caught mid-execution
+	// by the crash restarts from scratch — determinism makes that exact.
+	for _, id := range s.order {
+		r := s.runs[id]
+		if r.State.Terminal() {
+			continue
+		}
+		r.State = StateQueued
+		r.StartedAt = time.Time{}
+		r.simNow.Store(0)
+		s.inflight[r.Tenant]++
+		if err := s.queue.push(r.Shard, id); err != nil {
+			return err
+		}
+		s.met.requeued.Inc()
+	}
+
+	if s.nextID < len(s.order) {
+		s.nextID = len(s.order)
+	}
+	return s.snapshotLocked()
+}

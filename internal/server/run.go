@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dyflow/internal/exp"
+)
+
+// RunState is a run's lifecycle state.
+type RunState string
+
+// The run lifecycle: queued → running → done/failed; queued or running
+// runs can also be canceled. A crash moves running back to queued on
+// restore.
+const (
+	StateQueued   RunState = "queued"
+	StateRunning  RunState = "running"
+	StateDone     RunState = "done"
+	StateFailed   RunState = "failed"
+	StateCanceled RunState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Run is one tracked campaign submission. Mutable fields are guarded by
+// the server mutex except simNow and cancel, which the worker's progress
+// hook touches without it.
+type Run struct {
+	ID     string
+	Tenant string
+	Job    exp.Job
+	Shard  int
+
+	State     RunState
+	Cached    bool
+	Err       string
+	Converged bool
+	SimEnd    time.Duration
+	Artifacts map[string][]byte
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	simNow atomic.Int64 // virtual ns, live progress while running
+	cancel atomic.Bool  // cooperative-cancel flag read by the progress hook
+}
+
+// Status is the JSON view of a run served by GET /v1/runs/{id}.
+type Status struct {
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant"`
+	Job    exp.Job  `json:"job"`
+	State  RunState `json:"state"`
+	Shard  int      `json:"shard"`
+	Cached bool     `json:"cached,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	// SimSeconds is the run's progress in virtual time: live while
+	// running, the final makespan once done.
+	SimSeconds float64 `json:"sim_seconds"`
+	Converged  bool    `json:"converged,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Artifacts lists the fetchable artifact names once the run is done.
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// status renders the run's JSON view. Caller holds the server mutex.
+func (r *Run) status() Status {
+	st := Status{
+		ID:          r.ID,
+		Tenant:      r.Tenant,
+		Job:         r.Job,
+		State:       r.State,
+		Shard:       r.Shard,
+		Cached:      r.Cached,
+		Error:       r.Err,
+		SimSeconds:  time.Duration(r.simNow.Load()).Seconds(),
+		Converged:   r.Converged,
+		SubmittedAt: r.SubmittedAt,
+	}
+	if r.State == StateDone {
+		st.SimSeconds = r.SimEnd.Seconds()
+	}
+	if !r.StartedAt.IsZero() {
+		t := r.StartedAt
+		st.StartedAt = &t
+	}
+	if !r.FinishedAt.IsZero() {
+		t := r.FinishedAt
+		st.FinishedAt = &t
+	}
+	for name := range r.Artifacts {
+		st.Artifacts = append(st.Artifacts, name)
+	}
+	sort.Strings(st.Artifacts)
+	return st
+}

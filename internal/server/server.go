@@ -1,0 +1,553 @@
+// Package server is the multi-tenant campaign service: it accepts workflow
+// submissions (scenario + optional XML orchestration document + seed +
+// machine) over HTTP, admits them through per-tenant quotas and a bounded
+// sharded queue, executes each on a worker pool — one deterministic DES
+// world per worker slot — and serves the finished artifacts. Because runs
+// are byte-deterministic in the job value, results are cached by job key
+// and re-submissions are answered without re-simulating; because every
+// acknowledged transition is journaled through internal/ckpt, a killed
+// server restarts with no acknowledged submission lost. docs/SERVICE.md is
+// the narrative description.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dyflow/internal/ckpt"
+	"dyflow/internal/exp"
+	"dyflow/internal/obs"
+	"dyflow/internal/sim"
+)
+
+// The sentinel errors a worker's progress hook aborts a run with.
+var (
+	errRunCanceled  = errors.New("server: run canceled")
+	errShuttingDown = errors.New("server: shutting down")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size (one concurrent simulation each).
+	// 0 means GOMAXPROCS; negative means no workers at all — submissions
+	// queue but never execute (tests use this to observe queue states
+	// deterministically).
+	Workers int
+	// QueueDepth bounds the total queued-run count across all shards;
+	// submissions beyond it get 429 backpressure. 0 means 64.
+	QueueDepth int
+	// TenantQuota caps one tenant's in-flight (queued + running) runs;
+	// submissions beyond it get 429. 0 means 8; negative means unlimited.
+	TenantQuota int
+	// CkptDir, when set, persists the queue and completed-run index
+	// through a ckpt.Store there, surviving kill -9.
+	CkptDir string
+	// Metrics receives the dyflow_server_* families. Nil means a private
+	// registry (reachable via Registry()).
+	Metrics *obs.Registry
+}
+
+// Server is the campaign service.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	met   *metrics
+	queue *shardedQueue
+	store *ckpt.Store // nil when persistence is off
+
+	mu       sync.Mutex
+	runs     map[string]*Run
+	order    []string       // run IDs in submission order
+	nextID   int
+	cache    map[string]*Run // job key → first completed run
+	inflight map[string]int  // tenant → queued+running runs
+	stopping bool
+
+	workers sync.WaitGroup
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// beforeRun, when set (tests), runs just before a claimed run starts
+	// executing — it can block to hold the run in the running state.
+	beforeRun func(*Run)
+}
+
+// New builds the service, restores any persisted state from cfg.CkptDir,
+// and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.TenantQuota == 0 {
+		cfg.TenantQuota = 8
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	shards := cfg.Workers
+	if shards < 1 {
+		shards = 1
+	}
+	met := newMetrics(reg)
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		met:      met,
+		queue:    newShardedQueue(shards, cfg.QueueDepth, met.queueDepth),
+		runs:     map[string]*Run{},
+		cache:    map[string]*Run{},
+		inflight: map[string]int{},
+	}
+	if cfg.CkptDir != "" {
+		if err := s.restore(cfg.CkptDir); err != nil {
+			return nil, fmt.Errorf("server: restore: %w", err)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// Registry returns the registry holding the dyflow_server_* families.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// worker drains its queue shard (stealing when empty) until the queue
+// closes.
+func (s *Server) worker(slot int) {
+	defer s.workers.Done()
+	for {
+		id, ok := s.queue.pop(slot)
+		if !ok {
+			return
+		}
+		s.execute(id)
+	}
+}
+
+// execute runs one claimed queued run to a terminal state — or back to
+// queued if the server is shutting down underneath it.
+func (s *Server) execute(id string) {
+	s.mu.Lock()
+	r := s.runs[id]
+	if r == nil || r.State != StateQueued {
+		s.mu.Unlock()
+		return
+	}
+	if r.cancel.Load() {
+		// Canceled after the queue pop but before execution.
+		s.finishLocked(r, StateCanceled, errRunCanceled)
+		s.mu.Unlock()
+		return
+	}
+	r.State = StateRunning
+	r.StartedAt = time.Now()
+	hook := s.beforeRun
+	s.mu.Unlock()
+
+	if hook != nil {
+		hook(r)
+	}
+	s.met.active.Add(1)
+	start := time.Now()
+	out, err := exp.RunJob(r.Job, func(w *exp.World) error {
+		w.OnProgress = func(now sim.Time) error {
+			r.simNow.Store(int64(now))
+			if r.cancel.Load() {
+				return errRunCanceled
+			}
+			if s.isStopping() {
+				return errShuttingDown
+			}
+			return nil
+		}
+		return nil
+	})
+	s.met.active.Add(-1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		r.Converged = out.Converged
+		r.SimEnd = out.SimEnd
+		r.Artifacts = out.Artifacts
+		if _, have := s.cache[r.Job.Key()]; !have {
+			s.cache[r.Job.Key()] = r
+		}
+		s.met.runSeconds.Observe(time.Since(start).Seconds())
+		s.finishLocked(r, StateDone, nil)
+	case errors.Is(err, errShuttingDown):
+		// Put it back: the shutdown snapshot (or the already-journaled
+		// submission) carries it into the next process as queued.
+		r.State = StateQueued
+		r.StartedAt = time.Time{}
+		r.simNow.Store(0)
+	case errors.Is(err, errRunCanceled):
+		s.finishLocked(r, StateCanceled, err)
+	default:
+		s.finishLocked(r, StateFailed, err)
+	}
+}
+
+// finishLocked moves a run to a terminal state, releasing its quota slot
+// and journaling the transition. Caller holds the server mutex.
+func (s *Server) finishLocked(r *Run, state RunState, err error) {
+	r.State = state
+	if err != nil && state == StateFailed {
+		r.Err = err.Error()
+	}
+	r.FinishedAt = time.Now()
+	s.inflight[r.Tenant]--
+	if s.inflight[r.Tenant] <= 0 {
+		delete(s.inflight, r.Tenant)
+	}
+	s.met.runsTotal.With(string(state)).Inc()
+	kind := kindDone
+	if state == StateCanceled {
+		kind = kindCancel
+	}
+	if jerr := s.journal(kind, r.persisted(true)); jerr != nil {
+		// Journaling a terminal transition failing is not fatal to the
+		// run — on restart the run re-executes, which is deterministic.
+		fmt.Printf("server: journal %s: %v\n", kind, jerr)
+	}
+}
+
+func (s *Server) isStopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopping
+}
+
+// Submit admits one job for a tenant, returning the run's status. The
+// error is an *APIError carrying the intended HTTP status.
+func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	job, err := job.Normalized()
+	if err != nil {
+		return Status{}, &APIError{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return Status{}, &APIError{Code: http.StatusServiceUnavailable, Msg: "server is shutting down"}
+	}
+
+	// Cache fast path: an identical job already completed — answer from
+	// its artifacts without touching the queue or the quota.
+	if src := s.cache[job.Key()]; src != nil && src.State == StateDone {
+		r := s.newRunLocked(tenant, job)
+		r.State = StateDone
+		r.Cached = true
+		r.Converged = src.Converged
+		r.SimEnd = src.SimEnd
+		r.simNow.Store(int64(src.SimEnd))
+		r.Artifacts = src.Artifacts
+		r.FinishedAt = time.Now()
+		s.met.submissions.With(tenant).Inc()
+		s.met.cacheHits.With(tenant).Inc()
+		s.met.runsTotal.With(string(StateDone)).Inc()
+		if err := s.journal(kindSubmit, r.persisted(false)); err != nil {
+			return Status{}, s.dropRunLocked(r, err)
+		}
+		return r.status(), nil
+	}
+
+	if s.cfg.TenantQuota > 0 && s.inflight[tenant] >= s.cfg.TenantQuota {
+		s.met.quotaRejects.With(tenant).Inc()
+		return Status{}, &APIError{
+			Code: http.StatusTooManyRequests,
+			Msg:  fmt.Sprintf("tenant %q is at its in-flight quota (%d)", tenant, s.cfg.TenantQuota),
+		}
+	}
+
+	r := s.newRunLocked(tenant, job)
+	if err := s.queue.push(r.Shard, r.ID); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.met.queueRejects.Inc()
+			return Status{}, s.dropRunLocked(r, &APIError{
+				Code:       http.StatusTooManyRequests,
+				Msg:        "run queue is full",
+				RetryAfter: 1,
+			})
+		}
+		return Status{}, s.dropRunLocked(r, err)
+	}
+	// Journal after the push succeeded but before acknowledging: a crash
+	// in the window loses only runs the client never saw accepted.
+	if err := s.journal(kindSubmit, r.persisted(false)); err != nil {
+		s.queue.remove(r.ID)
+		return Status{}, s.dropRunLocked(r, err)
+	}
+	s.inflight[tenant]++
+	s.met.submissions.With(tenant).Inc()
+	return r.status(), nil
+}
+
+// newRunLocked allocates and registers the next run. Caller holds the
+// server mutex.
+func (s *Server) newRunLocked(tenant string, job exp.Job) *Run {
+	id := fmt.Sprintf("run-%06d", s.nextID)
+	s.nextID++
+	r := &Run{
+		ID:          id,
+		Tenant:      tenant,
+		Job:         job,
+		Shard:       s.queue.shardFor(tenant),
+		State:       StateQueued,
+		SubmittedAt: time.Now(),
+	}
+	s.runs[id] = r
+	s.order = append(s.order, id)
+	return r
+}
+
+// dropRunLocked unregisters a run that failed admission and returns err.
+func (s *Server) dropRunLocked(r *Run, err error) error {
+	delete(s.runs, r.ID)
+	if n := len(s.order); n > 0 && s.order[n-1] == r.ID {
+		s.order = s.order[:n-1]
+	}
+	s.nextID--
+	return err
+}
+
+// Cancel cancels a run: a queued run is pulled from the queue and finished
+// immediately; a running run is flagged and aborts at its next progress
+// tick. Canceling a terminal run is a no-op.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return Status{}, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
+	}
+	if r.State.Terminal() {
+		return r.status(), nil
+	}
+	r.cancel.Store(true)
+	if r.State == StateQueued && s.queue.remove(id) {
+		s.finishLocked(r, StateCanceled, errRunCanceled)
+	}
+	return r.status(), nil
+}
+
+// RunStatus returns one run's status.
+func (s *Server) RunStatus(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return Status{}, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
+	}
+	return r.status(), nil
+}
+
+// Runs lists every run in submission order.
+func (s *Server) Runs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.runs[id].status())
+	}
+	return out
+}
+
+// Artifact returns one artifact of a finished run.
+func (s *Server) Artifact(id, name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
+	}
+	if r.State != StateDone {
+		return nil, &APIError{Code: http.StatusConflict, Msg: fmt.Sprintf("run is %s, artifacts exist once it is done", r.State)}
+	}
+	blob, ok := r.Artifacts[name]
+	if !ok {
+		return nil, &APIError{Code: http.StatusNotFound, Msg: "no such artifact"}
+	}
+	return blob, nil
+}
+
+// QueueDepth returns the number of queued runs (tests and the drain loop).
+func (s *Server) QueueDepth() int { return s.queue.depthTotal() }
+
+// Start begins serving the API on addr ("host:0" picks a free port) and
+// returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Printf("server: serve: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops gracefully: the HTTP listener drains, running simulations
+// abort back to queued at their next progress tick, the workers exit, and
+// the full state — queued runs included — is snapshotted so the next
+// process resumes them.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.stopping = true
+	s.mu.Unlock()
+
+	var httpErr error
+	if s.httpSrv != nil {
+		httpErr = s.httpSrv.Shutdown(ctx)
+	}
+	s.queue.close()
+	s.workers.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.snapshotLocked(); err != nil {
+		return err
+	}
+	return httpErr
+}
+
+// Close stops hard — no snapshot, simulating a crash: recovery relies on
+// the journal alone. Tests use it to prove the kill+restart path.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.stopping = true
+	s.mu.Unlock()
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.queue.close()
+	s.workers.Wait()
+}
+
+// APIError is an error with an HTTP status.
+type APIError struct {
+	Code       int
+	Msg        string
+	RetryAfter int // seconds, optional
+}
+
+func (e *APIError) Error() string { return e.Msg }
+
+// httpError writes err as an HTTP response: an *APIError keeps its status,
+// anything else is a 500.
+func httpError(w http.ResponseWriter, err error) {
+	var api *APIError
+	if !errors.As(err, &api) {
+		api = &APIError{Code: http.StatusInternalServerError, Msg: err.Error()}
+	}
+	if api.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(api.RetryAfter))
+	}
+	http.Error(w, api.Msg, api.Code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// SubmitRequest is the POST /v1/runs body: a tenant plus the job fields.
+type SubmitRequest struct {
+	Tenant string `json:"tenant"`
+	exp.Job
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/runs                      submit  {tenant, scenario, machine, seed, xml}
+//	GET  /v1/runs                      list all runs
+//	GET  /v1/runs/{id}                 one run's status
+//	POST /v1/runs/{id}/cancel          cancel
+//	GET  /v1/runs/{id}/artifacts/{name}  report | gantt | perfetto | metrics
+//	GET  /metrics, /metrics.json       the server's own registry
+//	GET  /healthz                      liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.met.httpReqs.With(name).Inc()
+			h(w, r)
+		})
+	}
+	route("POST /v1/runs", "submit", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, &APIError{Code: http.StatusBadRequest, Msg: "bad submit body: " + err.Error()})
+			return
+		}
+		st, err := s.Submit(req.Tenant, req.Job)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	route("GET /v1/runs", "list", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"runs": s.Runs()})
+	})
+	route("GET /v1/runs/{id}", "status", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.RunStatus(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	route("POST /v1/runs/{id}/cancel", "cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	route("GET /v1/runs/{id}/artifacts/{name}", "artifact", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		blob, err := s.Artifact(r.PathValue("id"), name)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		ct := "application/json"
+		if name == exp.ArtifactGantt {
+			ct = "text/plain; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ct)
+		w.Write(blob)
+	})
+	route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	mux.Handle("GET /metrics.json", obs.JSONHandler(s.reg))
+	return mux
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Single is the campaign service's single-campaign mode: one live
+// simulation stepped by its owner, with HTTP handlers serialized against
+// the stepping by one mutex (the DES world is single-threaded). dyflow-exp
+// serve runs on it — the full multi-tenant Server is for cmd/dyflow-serve.
+type Single struct {
+	mu  sync.Mutex
+	mux *http.ServeMux
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewSingle returns an empty single-campaign server; add handlers with
+// HandleLocked, then Start it.
+func NewSingle() *Single {
+	return &Single{mux: http.NewServeMux()}
+}
+
+// HandleLocked registers a handler that runs under the campaign lock.
+func (s *Single) HandleLocked(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+}
+
+// Locked runs fn under the campaign lock — the owner's stepping loop uses
+// it so handler reads never observe a half-stepped world.
+func (s *Single) Locked(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn()
+}
+
+// Start begins serving on addr ("host:0" picks a free port) and returns
+// the bound address.
+func (s *Single) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Printf("server: single: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains in-flight requests and stops the listener.
+func (s *Single) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
