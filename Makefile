@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos chaos-restart bench loadtest examples
+.PHONY: build test vet race verify chaos chaos-restart bench bench-sim loadtest examples
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,18 @@ bench:
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_obs.json
 	@rm bench.out
 	@echo wrote BENCH_obs.json
+
+# DES kernel hot-path benchmarks (DESIGN.md §14): raw event dispatch,
+# coroutine handoffs, batched queue draining, the typed bus round trip, the
+# staging fan-out, and the end-to-end quickstart world. Custom metrics
+# (events/s, steps/s, handoffs/op) land in BENCH_sim.json for the CI
+# artifact (docs/OBSERVABILITY.md).
+bench-sim:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/sim/ ./internal/msg/ ./internal/stream/ ./internal/exp/ | tee bench_sim.out
+	$(GO) run ./cmd/benchjson < bench_sim.out > BENCH_sim.json
+	@rm bench_sim.out
+	@echo wrote BENCH_sim.json
 
 # Closed-loop load test of the campaign service (docs/SERVICE.md): an
 # embedded dyflow-serve under the race detector, 8 clients over 4 tenants,

@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // machine-readable JSON document on stdout, so CI can archive benchmark
-// results as an artifact (BENCH_obs.json) and diff them across commits:
+// results as artifacts (BENCH_obs.json, BENCH_sim.json) and diff them
+// across commits:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/... | benchjson > BENCH_obs.json
 package main
@@ -28,6 +29,9 @@ type Result struct {
 	// BytesPerOp/AllocsPerOp are present with -benchmem (-1 when absent).
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric pairs keyed by unit (e.g.
+	// "events/s", "handoffs/op"), absent when the benchmark reports none.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // parseBench scans go-test bench output and extracts every benchmark
@@ -70,17 +74,25 @@ func parseBench(r io.Reader) ([]Result, error) {
 			BytesPerOp:  -1,
 			AllocsPerOp: -1,
 		}
-		// -benchmem appends "B B/op allocs allocs/op".
+		// Remaining columns are "value unit" pairs: -benchmem's B/op and
+		// allocs/op, plus any custom b.ReportMetric units.
 		for i := 4; i+1 < len(f); i += 2 {
-			v, err := strconv.ParseInt(f[i], 10, 64)
-			if err != nil {
-				continue
-			}
 			switch f[i+1] {
 			case "B/op":
-				res.BytesPerOp = v
+				if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+					res.BytesPerOp = v
+				}
 			case "allocs/op":
-				res.AllocsPerOp = v
+				if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+					res.AllocsPerOp = v
+				}
+			default:
+				if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+					if res.Metrics == nil {
+						res.Metrics = make(map[string]float64)
+					}
+					res.Metrics[f[i+1]] = v
+				}
 			}
 		}
 		out = append(out, res)

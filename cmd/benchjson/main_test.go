@@ -45,6 +45,29 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchCustomMetrics(t *testing.T) {
+	const line = `pkg: dyflow/internal/sim
+BenchmarkProcContextSwitch-8 	 3540176	       345.4 ns/op	   2895445 events/s	         1.000 handoffs/op	       0 B/op	       0 allocs/op
+`
+	got, err := parseBench(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(got))
+	}
+	r := got[0]
+	if r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("memory fields = %+v", r)
+	}
+	if r.Metrics["events/s"] != 2895445 || r.Metrics["handoffs/op"] != 1.0 {
+		t.Fatalf("metrics = %+v", r.Metrics)
+	}
+	if len(r.Metrics) != 2 {
+		t.Fatalf("extra metrics captured: %+v", r.Metrics)
+	}
+}
+
 func TestParseBenchSkipsGarbage(t *testing.T) {
 	got, err := parseBench(strings.NewReader("BenchmarkBroken-8 abc 1 ns/op\nrandom text\n"))
 	if err != nil {

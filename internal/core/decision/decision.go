@@ -280,25 +280,31 @@ func (e *Engine) ResetTask(workflow, taskName string) {
 // run is the receiver process: it screens incoming metric batches and
 // stores them on the matching policy bindings.
 func (e *Engine) run(p *sim.Proc) {
+	// Drain every same-instant metric shipment in one wake so a burst of
+	// sensor-server sends costs one kernel→proc handoff.
+	var buf []msg.Envelope
 	for {
-		env, err := e.ep.Recv(p)
+		batch, err := e.ep.RecvBatch(p, buf[:0])
 		if err != nil {
 			return
 		}
-		if !e.filter.Admit(env) {
-			continue
-		}
-		var msgs []sensor.MetricMsg
-		if err := env.Decode(&msgs); err != nil {
-			continue
-		}
-		for _, w := range msgs {
-			m, err := sensor.FromMsg(w)
-			if err != nil {
+		buf = batch
+		for _, env := range batch {
+			if !e.filter.Admit(env) {
 				continue
 			}
-			e.Ingest(m)
-			e.tr.Inc("decision.metrics_ingested", 1)
+			var msgs []sensor.MetricMsg
+			if err := env.Decode(&msgs); err != nil {
+				continue
+			}
+			for _, w := range msgs {
+				m, err := sensor.FromMsg(w)
+				if err != nil {
+					continue
+				}
+				e.Ingest(m)
+				e.tr.Inc("decision.metrics_ingested", 1)
+			}
 		}
 	}
 }

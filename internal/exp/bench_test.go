@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkQuickstartJob runs the campaign service's cheap quickstart
+// scenario end to end — the same world `make loadtest` hammers — and
+// reports the kernel-level rates behind BENCH_sim.json: steps/s is event
+// dispatches per wall-clock second across the whole pipeline (tasks,
+// sensors, decision, arbitration), handoffs/op is baton transfers per job.
+func BenchmarkQuickstartJob(b *testing.B) {
+	var dispatched, handoffs uint64
+	var simTime time.Duration
+	for i := 0; i < b.N; i++ {
+		j, err := Job{Scenario: ScenarioQuickstart, Seed: int64(i)}.Normalized()
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, _, _, err := runQuickstartJob(j, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dispatched += w.Sim.Dispatched()
+		handoffs += w.Sim.Handoffs()
+		simTime += time.Duration(w.Sim.Now())
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(dispatched)/sec, "steps/s")
+		b.ReportMetric(simTime.Seconds()/sec, "simsec/s")
+	}
+	b.ReportMetric(float64(handoffs)/float64(b.N), "handoffs/op")
+}

@@ -60,14 +60,26 @@ func TestSendUnknownEndpoint(t *testing.T) {
 	}
 }
 
-func TestSendUnmarshalablePayload(t *testing.T) {
+func TestUnmarshalablePayloadSurfacesAtSnapshot(t *testing.T) {
+	// Marshalling moved from Send to the checkpoint boundary: the typed
+	// hot path delivers any payload zero-copy, and a payload JSON cannot
+	// represent is a stage bug that surfaces as a panic at Snapshot.
 	s := sim.New(1)
 	bus := NewBus(s)
 	a := bus.Endpoint("a")
 	bus.Endpoint("b")
-	if err := a.Send("b", func() {}); err == nil {
-		t.Fatal("unmarshalable payload should fail")
+	if err := a.Send("b", func() {}); err != nil {
+		t.Fatalf("typed send should accept any payload, got %v", err)
 	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot of an unmarshalable queued payload should panic")
+		}
+	}()
+	bus.Snapshot()
 }
 
 func TestSequenceNumbersPerSender(t *testing.T) {

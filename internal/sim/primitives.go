@@ -11,6 +11,7 @@ package sim
 type Signal struct {
 	sim     *Sim
 	waiters []*Proc
+	scratch []*Proc // recycled backing array for the next waiters list
 }
 
 // NewSignal creates a Signal bound to s.
@@ -28,13 +29,26 @@ func (sig *Signal) dequeue(p *Proc) {
 }
 
 // Broadcast wakes every process currently waiting on the signal, in the
-// order they started waiting.
+// order they started waiting. The waiter list is detached before iterating
+// (a wake may deregister other procs from this signal) and its backing
+// array is recycled, so steady-state Broadcast does not allocate.
 func (sig *Signal) Broadcast() {
+	if len(sig.waiters) == 0 {
+		return
+	}
 	waiters := sig.waiters
-	sig.waiters = nil
+	if sig.scratch != nil {
+		sig.waiters = sig.scratch[:0]
+	} else {
+		sig.waiters = nil
+	}
 	for _, w := range waiters {
 		w.scheduleWake(nil, true)
 	}
+	for i := range waiters {
+		waiters[i] = nil
+	}
+	sig.scratch = waiters[:0]
 }
 
 // Waiters reports how many processes are currently waiting on the signal.
@@ -138,6 +152,33 @@ func (q *Queue[T]) Get(p *Proc) (T, error) {
 		}
 		if err := p.Wait(q.notEmpty); err != nil {
 			return zero, err
+		}
+	}
+}
+
+// GetAll blocks until at least one item is available and then removes and
+// returns every buffered item, appending to buf (pass buf[:0] to recycle a
+// batch buffer across calls). A burst of N same-instant deliveries costs
+// one kernel→process handoff instead of N. It returns ErrClosed once the
+// queue is closed and drained, or the interrupt/stop error delivered while
+// blocked.
+func (q *Queue[T]) GetAll(p *Proc, buf []T) ([]T, error) {
+	for {
+		if len(q.items) > 0 {
+			buf = append(buf, q.items...)
+			var zero T
+			for i := range q.items {
+				q.items[i] = zero
+			}
+			q.items = q.items[:0]
+			q.notFull.Broadcast()
+			return buf, nil
+		}
+		if q.closed {
+			return buf, ErrClosed
+		}
+		if err := p.Wait(q.notEmpty); err != nil {
+			return buf, err
 		}
 	}
 }

@@ -29,11 +29,19 @@ type Proc struct {
 	// Blocked-state bookkeeping. Invariant: parked is true exactly while
 	// the process is registered on some wait structure with no wake
 	// scheduled yet. Every wake path claims the process by deregistering
-	// it, clearing parked, and scheduling a same-instant handoff event.
-	parked     bool
-	cancelWait func() // deregisters the proc from whatever it waits on
-	wakeEvent  *Event // pending timer wake (Sleep / WaitTimeout), if any
-	pending    error  // interrupt delivered while the proc was runnable
+	// it, clearing parked, and scheduling a same-instant wake event; the
+	// claim is recorded in pendingWake so a later claimant (Interrupt,
+	// Stop) can supersede the scheduled wake instead of double-resuming.
+	parked      bool
+	cancelWait  func() // deregisters the proc from whatever it waits on
+	wakeEvent   *Event // pending timer wake (Sleep / WaitTimeout), if any
+	pendingWake *Event // scheduled wake event claiming this proc, if any
+	pending     error  // interrupt delivered while the proc was runnable
+
+	// Interrupt-loss accounting: a runnable process retains at most one
+	// pending interrupt; later causes are counted and the last one kept.
+	droppedInterrupts int
+	lastDropped       error
 
 	lastWakeBySignal bool // set when the wake came from a Signal broadcast
 
@@ -62,19 +70,20 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 
 	go p.run()
 
-	// The new process starts parked; its first wake is a normal event.
+	// The new process starts parked; its first wake is a normal wake event.
+	// parked stays true while the claim is outstanding so an Interrupt
+	// arriving before the first wake supersedes it (scheduleWake cancels
+	// the claimed event) instead of being lost.
 	p.parked = true
 	if s.stopped {
 		// No further events run; release the goroutine immediately.
 		p.forceWake(ErrStopped)
 		return p
 	}
-	s.At(s.now, func() {
-		if p.parked { // not stopped/claimed in the meantime
-			p.parked = false
-			p.handoff(nil)
-		}
-	})
+	e := s.newEvent(s.now)
+	e.kind = evWake
+	e.proc = p
+	p.pendingWake = e
 	return p
 }
 
@@ -126,6 +135,7 @@ func (p *Proc) handoff(err error) {
 	}
 	prev := p.sim.current
 	p.sim.current = p
+	p.sim.handoffs++
 	p.resume <- err
 	<-p.yield
 	p.sim.current = prev
@@ -134,7 +144,8 @@ func (p *Proc) handoff(err error) {
 // scheduleWake claims a parked process and schedules its resumption at the
 // current instant with the given wake value. It is safe to call from kernel
 // context or from another running process; calling it on a process that is
-// not parked (already claimed, runnable, or done) is a no-op.
+// not parked (already claimed, runnable, or done) is a no-op — except that
+// an Interrupt may supersede an existing claim (see Interrupt).
 func (p *Proc) scheduleWake(err error, bySignal bool) {
 	if p.done || !p.parked {
 		return
@@ -144,14 +155,23 @@ func (p *Proc) scheduleWake(err error, bySignal bool) {
 		p.cancelWait = nil
 	}
 	if p.wakeEvent != nil {
-		p.wakeEvent.Cancel()
+		p.sim.cancelInternal(p.wakeEvent)
 		p.wakeEvent = nil
 	}
+	if p.pendingWake != nil {
+		// Supersede an existing claim (a Spawn's first wake raced an
+		// Interrupt at the same instant): the new wake value wins and the
+		// old event is removed from the schedule.
+		p.sim.cancelInternal(p.pendingWake)
+		p.pendingWake = nil
+	}
 	p.parked = false
-	p.sim.At(p.sim.now, func() {
-		p.lastWakeBySignal = bySignal
-		p.handoff(err)
-	})
+	e := p.sim.newEvent(p.sim.now)
+	e.kind = evWake
+	e.proc = p
+	e.werr = err
+	e.bySignal = bySignal
+	p.pendingWake = e
 }
 
 // forceWake synchronously wakes a parked process with err, bypassing the
@@ -165,19 +185,36 @@ func (p *Proc) forceWake(err error) {
 		p.cancelWait = nil
 	}
 	if p.wakeEvent != nil {
-		p.wakeEvent.Cancel()
+		p.sim.cancelInternal(p.wakeEvent)
 		p.wakeEvent = nil
+	}
+	if p.pendingWake != nil {
+		p.sim.cancelInternal(p.pendingWake)
+		p.pendingWake = nil
 	}
 	p.parked = false
 	p.handoff(err)
 }
 
+// timerFire resumes a parked process whose timer elapsed. It runs in kernel
+// context, directly from step: a Sleep costs one pooled event and one
+// handoff, with no trampoline closure or second wake event.
+func (p *Proc) timerFire() {
+	if p.cancelWait != nil {
+		p.cancelWait()
+		p.cancelWait = nil
+	}
+	p.parked = false
+	p.lastWakeBySignal = false
+	p.handoff(nil)
+}
+
 // block parks the process until a wake arrives. register runs in process
 // context before yielding and must arrange a future wake (a timer via
 // p.wakeEvent, or a wait-list entry whose waker calls scheduleWake); cancel
-// must undo the wait-list registration. block returns the wake value: nil
-// for a normal wake, an ErrInterrupted-wrapped error for interrupts, or
-// ErrStopped at shutdown.
+// (which may be nil) must undo the wait-list registration. block returns
+// the wake value: nil for a normal wake, an ErrInterrupted-wrapped error
+// for interrupts, or ErrStopped at shutdown.
 func (p *Proc) block(register func(), cancel func()) error {
 	if p.sim.current != p {
 		panic(fmt.Sprintf("sim: blocking call on process %q from outside its goroutine", p.name))
@@ -224,12 +261,12 @@ func (p *Proc) Sleep(d time.Duration) error {
 	}
 	return p.block(
 		func() {
-			p.wakeEvent = p.sim.After(d, func() {
-				p.wakeEvent = nil
-				p.scheduleWake(nil, false)
-			})
+			e := p.sim.newEvent(p.sim.now + d)
+			e.kind = evTimer
+			e.proc = p
+			p.wakeEvent = e
 		},
-		func() {},
+		nil,
 	)
 }
 
@@ -263,11 +300,17 @@ func (p *Proc) SleepUninterruptible(d time.Duration) error {
 // Interrupt delivers cause (wrapped in ErrInterrupted) to the process. If
 // the process is blocked, its blocking call returns immediately with the
 // interrupt; if it is runnable, its next blocking call returns it. cause may
-// be nil. Interrupting a terminated process is a no-op; at most one pending
-// interrupt is retained for a runnable process.
-func (p *Proc) Interrupt(cause error) {
+// be nil.
+//
+// At-most-one semantics: a runnable process retains only ONE pending
+// interrupt — the first. Later causes delivered before the process blocks
+// again are NOT queued; Interrupt reports the loss by returning false, and
+// the dropped cause is recorded (deterministically, in delivery order) and
+// readable via DroppedInterrupts/LastDroppedInterrupt. Interrupting a
+// terminated process is also a drop (returns false).
+func (p *Proc) Interrupt(cause error) bool {
 	if p.done {
-		return
+		return false
 	}
 	err := ErrInterrupted
 	if cause != nil {
@@ -275,12 +318,24 @@ func (p *Proc) Interrupt(cause error) {
 	}
 	if p.parked {
 		p.scheduleWake(err, false)
-		return
+		return true
 	}
 	if p.pending == nil {
 		p.pending = err
+		return true
 	}
+	p.droppedInterrupts++
+	p.lastDropped = err
+	return false
 }
+
+// DroppedInterrupts returns the number of interrupt causes dropped because
+// the process was runnable and already had a pending interrupt.
+func (p *Proc) DroppedInterrupts() int { return p.droppedInterrupts }
+
+// LastDroppedInterrupt returns the most recently dropped interrupt error
+// (already ErrInterrupted-wrapped), or nil if none was dropped.
+func (p *Proc) LastDroppedInterrupt() error { return p.lastDropped }
 
 // Join blocks until other terminates. It returns nil once other has
 // terminated, or the interrupt/stop error delivered while waiting.
@@ -302,15 +357,17 @@ func (p *Proc) Wait(sig *Signal) error {
 
 // WaitTimeout blocks until sig is broadcast or d elapses. It returns
 // (true, nil) on a broadcast wake, (false, nil) on timeout, and (false, err)
-// if interrupted or stopped.
+// if interrupted or stopped. Whichever side loses the race is canceled
+// eagerly: a signal wake removes the timer event from the heap immediately,
+// so cancel-heavy loops do not grow the schedule.
 func (p *Proc) WaitTimeout(sig *Signal, d time.Duration) (bool, error) {
 	err := p.block(
 		func() {
 			sig.enqueue(p)
-			p.wakeEvent = p.sim.After(d, func() {
-				p.wakeEvent = nil
-				p.scheduleWake(nil, false) // deregisters from sig via cancelWait
-			})
+			e := p.sim.newEvent(p.sim.now + d)
+			e.kind = evTimer
+			e.proc = p
+			p.wakeEvent = e
 		},
 		func() { sig.dequeue(p) },
 	)

@@ -18,10 +18,17 @@
 // same instant execute in scheduling order (a monotonically increasing
 // sequence number breaks ties), so a run is a pure function of its inputs
 // and seed.
+//
+// The event loop is the hot path of every experiment, so it avoids
+// per-event allocation and indirection: Event structs are recycled through
+// a free-list, the heap is a hand-rolled binary heap with inlined
+// comparisons (no container/heap interface dispatch), canceled events are
+// removed eagerly rather than tombstoned, and process timer wakes resume
+// the process directly from the kernel instead of scheduling a second
+// trampoline event. See DESIGN.md §14.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -44,54 +51,71 @@ var ErrStopped = errors.New("sim: simulation stopped")
 // Interrupted reports whether err originates from a Proc.Interrupt call.
 func Interrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
 
-// Event is a handle to a scheduled callback. It can be canceled before it
-// fires.
+// Event kinds. A pooled Event is one of:
+const (
+	evFunc  = iota // plain callback
+	evCall         // callback taking one argument (closure-free scheduling)
+	evWake         // resume a claimed process (scheduleWake)
+	evTimer        // timer wake of a parked process (Sleep / WaitTimeout)
+)
+
+// Event is a pooled, scheduled kernel event. Events are owned by the kernel
+// and recycled through a free-list after they fire or are canceled; user
+// code never holds a *Event directly — At/After return an EventID handle
+// whose generation counter makes stale cancels provably inert.
 type Event struct {
-	at       Time
-	seq      uint64
+	sim   *Sim
+	at    Time
+	seq   uint64
+	gen   uint64 // bumped on release; EventIDs with an older gen are stale
+	index int    // heap index, -1 when not scheduled
+
+	kind     uint8
+	bySignal bool  // evWake: wake was caused by a Signal broadcast
 	fn       func()
-	index    int // heap index, -1 when popped
-	canceled bool
+	fn1      func(any)
+	arg      any
+	proc     *Proc // evWake / evTimer target
+	werr     error // evWake value
 }
 
-// Cancel prevents the event's callback from running. Canceling an event
-// that already fired (or was already canceled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// EventID is a cancelable handle to a scheduled event. The zero value is a
+// valid no-op handle. Copies are cheap; Cancel on a handle whose event has
+// already fired, been canceled, or been recycled for a different event is a
+// no-op (the generation check makes this safe even though the underlying
+// Event struct is pooled).
+type EventID struct {
+	e   *Event
+	gen uint64
+}
+
+// Active reports whether the event is still scheduled to fire.
+func (id EventID) Active() bool {
+	return id.e != nil && id.e.gen == id.gen && id.e.index >= 0
+}
+
+// Time returns the virtual instant the event is scheduled to fire at, or 0
+// if the handle is stale.
+func (id EventID) Time() Time {
+	if !id.Active() {
+		return 0
 	}
+	return id.e.at
 }
 
-// Time returns the virtual instant the event is scheduled to fire at.
-func (e *Event) Time() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel removes the event from the schedule. Canceling an event that
+// already fired (or was already canceled) is a no-op. Unlike a lazy
+// tombstone, cancellation removes the event from the heap immediately, so
+// cancel-heavy workloads (WaitTimeout under frequent broadcasts) keep the
+// heap bounded.
+func (id EventID) Cancel() {
+	e := id.e
+	if e == nil || e.gen != id.gen || e.index < 0 {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	s := e.sim
+	s.heapRemove(e.index)
+	s.release(e)
 }
 
 // Sim is a discrete-event simulation instance. The zero value is not usable;
@@ -101,7 +125,8 @@ func (h *eventHeap) Pop() any {
 // currently running process form a single logical thread of control.
 type Sim struct {
 	now     Time
-	events  eventHeap
+	events  []*Event // binary min-heap ordered by (at, seq)
+	free    []*Event // recycled Event structs
 	seq     uint64
 	rng     *rand.Rand
 	procs   map[uint64]*Proc
@@ -109,6 +134,9 @@ type Sim struct {
 	stopped bool
 	failure error
 	current *Proc // process currently holding the baton, nil in kernel context
+
+	dispatched uint64 // events executed by step
+	handoffs   uint64 // kernel→process baton transfers
 
 	// Logf, when non-nil, receives a human-readable trace of kernel
 	// activity. Intended for debugging; experiments leave it nil.
@@ -132,6 +160,14 @@ func (s *Sim) Now() Time { return s.now }
 // be used from kernel context or the currently running process.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// Dispatched returns the number of events the kernel has executed.
+func (s *Sim) Dispatched() uint64 { return s.dispatched }
+
+// Handoffs returns the number of kernel→process baton transfers performed.
+// A burst of N same-instant deliveries drained in one wake costs one
+// handoff; the ratio Dispatched/Handoffs is the batching win.
+func (s *Sim) Handoffs() uint64 { return s.handoffs }
+
 // logf emits a kernel trace line if tracing is enabled.
 func (s *Sim) logf(format string, args ...any) {
 	if s.Logf != nil {
@@ -139,72 +175,243 @@ func (s *Sim) logf(format string, args ...any) {
 	}
 }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// (at < Now) fires the event at the current instant instead; same-instant
-// events run in scheduling order.
-func (s *Sim) At(at Time, fn func()) *Event {
+// ---- event heap (hand-rolled: inlined comparisons, eager removal) ----
+
+func (s *Sim) eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Sim) heapPush(e *Event) {
+	e.index = len(s.events)
+	s.events = append(s.events, e)
+	s.siftUp(e.index)
+}
+
+func (s *Sim) heapPop() *Event {
+	h := s.events
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	s.events = h[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	e.index = -1
+	return e
+}
+
+// heapRemove removes the event at heap index i (eager cancellation).
+func (s *Sim) heapRemove(i int) {
+	h := s.events
+	n := len(h) - 1
+	e := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].index = i
+	}
+	h[n] = nil
+	s.events = h[:n]
+	if i < n {
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+	e.index = -1
+}
+
+func (s *Sim) siftUp(i int) {
+	h := s.events
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.eventLess(e, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = e
+	e.index = i
+}
+
+// siftDown restores the heap below i; it reports whether the element moved.
+func (s *Sim) siftDown(i int) bool {
+	h := s.events
+	n := len(h)
+	e := h[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.eventLess(h[r], h[child]) {
+			child = r
+		}
+		if !s.eventLess(h[child], e) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = i
+		i = child
+	}
+	h[i] = e
+	e.index = i
+	return i > start
+}
+
+// ---- event pool ----
+
+// newEvent takes an Event from the free-list (or allocates one), stamps it
+// with (at, seq), and pushes it on the heap.
+func (s *Sim) newEvent(at Time) *Event {
 	if at < s.now {
 		at = s.now
 	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{sim: s}
+	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.events, e)
+	e.at = at
+	e.seq = s.seq
+	s.heapPush(e)
 	return e
+}
+
+// release clears an event and returns it to the free-list. The generation
+// bump invalidates every EventID handed out for the previous incarnation.
+func (s *Sim) release(e *Event) {
+	e.gen++
+	e.kind = 0
+	e.bySignal = false
+	e.fn = nil
+	e.fn1 = nil
+	e.arg = nil
+	e.proc = nil
+	e.werr = nil
+	e.index = -1
+	s.free = append(s.free, e)
+}
+
+// cancelInternal eagerly removes a scheduled event held by kernel-internal
+// code (no generation check: the caller owns the pointer).
+func (s *Sim) cancelInternal(e *Event) {
+	if e.index >= 0 {
+		s.heapRemove(e.index)
+	}
+	s.release(e)
+}
+
+// ---- scheduling API ----
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (at < Now) fires the event at the current instant instead; same-instant
+// events run in scheduling order.
+func (s *Sim) At(at Time, fn func()) EventID {
+	e := s.newEvent(at)
+	e.kind = evFunc
+	e.fn = fn
+	return EventID{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current instant. Negative delays
 // are treated as zero.
-func (s *Sim) After(d time.Duration, fn func()) *Event {
+func (s *Sim) After(d time.Duration, fn func()) EventID {
 	return s.At(s.now+d, fn)
 }
 
-// Pending reports the number of scheduled (uncanceled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
+// AtCall schedules fn(arg) at absolute virtual time at. Unlike At, the
+// callback and its argument are stored separately, so hot paths that reuse
+// one function value (e.g. message delivery) schedule without allocating a
+// closure per event.
+func (s *Sim) AtCall(at Time, fn func(any), arg any) EventID {
+	e := s.newEvent(at)
+	e.kind = evCall
+	e.fn1 = fn
+	e.arg = arg
+	return EventID{e: e, gen: e.gen}
 }
+
+// AfterCall schedules fn(arg) to run d after the current instant.
+func (s *Sim) AfterCall(d time.Duration, fn func(any), arg any) EventID {
+	return s.AtCall(s.now+d, fn, arg)
+}
+
+// Pending reports the number of scheduled events. Canceled events are
+// removed from the heap eagerly, so this is O(1).
+func (s *Sim) Pending() int { return len(s.events) }
 
 // step pops and executes the next event. It reports whether an event ran.
 func (s *Sim) step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.at > s.now {
-			s.now = e.at
-		}
-		e.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := s.heapPop()
+	if e.at > s.now {
+		s.now = e.at
+	}
+	s.dispatched++
+	switch e.kind {
+	case evFunc:
+		fn := e.fn
+		s.release(e)
+		fn()
+	case evCall:
+		fn, arg := e.fn1, e.arg
+		s.release(e)
+		fn(arg)
+	case evWake:
+		p, err, bySignal := e.proc, e.werr, e.bySignal
+		stale := p.pendingWake != e
+		s.release(e)
+		if stale || p.done {
+			// A later claim (e.g. an Interrupt racing a Spawn's first
+			// wake) superseded this event; the newer one carries the
+			// wake value.
+			return true
+		}
+		p.pendingWake = nil
+		p.parked = false
+		p.lastWakeBySignal = bySignal
+		p.handoff(err)
+	case evTimer:
+		p := e.proc
+		stale := p.wakeEvent != e
+		s.release(e)
+		if stale || p.done || !p.parked {
+			return true
+		}
+		p.wakeEvent = nil
+		p.timerFire()
+	}
+	return true
 }
 
 // Run executes events until the event queue drains, the virtual clock would
 // pass until, or a process fails. A process failure (panic) is returned as
-// an error. On return the clock is at the time of the last executed event
-// (or at until if the run was cut short by the horizon — whichever applies).
+// an error. On return the clock is at until (if until is in the future),
+// even when the queue drained before the horizon — stepped drivers like
+// exp.ChaosRun.Step rely on idle windows still advancing sim time.
 func (s *Sim) Run(until Time) error {
 	for !s.stopped && s.failure == nil {
-		if len(s.events) == 0 {
-			break
-		}
-		// Peek: do not execute events beyond the horizon.
-		next := s.events[0]
-		if next.canceled {
-			heap.Pop(&s.events)
-			continue
-		}
-		if next.at > until {
-			s.now = until
+		if len(s.events) == 0 || s.events[0].at > until {
 			break
 		}
 		s.step()
+	}
+	if s.failure == nil && !s.stopped && s.now < until {
+		s.now = until
 	}
 	return s.failure
 }
@@ -223,11 +430,21 @@ func (s *Sim) Stop() {
 		return
 	}
 	s.stopped = true
-	// Wake every parked process so its goroutine terminates. Resume order
-	// is by PID for determinism (not that it matters post-stop).
+	// Wake every parked or wake-claimed process so its goroutine
+	// terminates. Resume order is by PID for determinism (not that it
+	// matters post-stop).
 	for pid := uint64(0); pid < s.nextPID; pid++ {
 		p, ok := s.procs[pid]
 		if !ok || p.done {
+			continue
+		}
+		if p.pendingWake != nil {
+			// Claimed but its wake event will never run now; deliver the
+			// stop directly.
+			s.cancelInternal(p.pendingWake)
+			p.pendingWake = nil
+			p.parked = false
+			p.handoff(ErrStopped)
 			continue
 		}
 		p.forceWake(ErrStopped)

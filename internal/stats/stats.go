@@ -87,34 +87,6 @@ func Reduce(op Op, values []float64) (float64, bool) {
 		return 0, false
 	}
 	switch op {
-	case OpMax:
-		m := values[0]
-		for _, v := range values[1:] {
-			if v > m {
-				m = v
-			}
-		}
-		return m, true
-	case OpMin:
-		m := values[0]
-		for _, v := range values[1:] {
-			if v < m {
-				m = v
-			}
-		}
-		return m, true
-	case OpSum:
-		s := 0.0
-		for _, v := range values {
-			s += v
-		}
-		return s, true
-	case OpAvg:
-		s := 0.0
-		for _, v := range values {
-			s += v
-		}
-		return s / float64(len(values)), true
 	case OpCount:
 		return float64(len(values)), true
 	case OpFirst:
@@ -123,43 +95,102 @@ func Reduce(op Op, values []float64) (float64, bool) {
 		return values[len(values)-1], true
 	case OpMedian:
 		tmp := append([]float64(nil), values...)
-		sort.Float64s(tmp)
-		n := len(tmp)
-		if n%2 == 1 {
-			return tmp[n/2], true
+		return median(tmp), true
+	default:
+		return reduceStream(op, values, nil)
+	}
+}
+
+// median sorts tmp in place and returns the middle value (average of the
+// middle two for even counts). tmp must be non-empty.
+func median(tmp []float64) float64 {
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// reduceStream applies a streaming (single- or double-pass) operation over
+// the logical concatenation a++b without materializing it — the copy-free
+// path Window.Reduce uses on its two ring segments.
+func reduceStream(op Op, a, b []float64) (float64, bool) {
+	n := len(a) + len(b)
+	if n == 0 {
+		return 0, false
+	}
+	switch op {
+	case OpMax:
+		m := math.Inf(-1)
+		for _, seg := range [2][]float64{a, b} {
+			for _, v := range seg {
+				if v > m {
+					m = v
+				}
+			}
 		}
-		return (tmp[n/2-1] + tmp[n/2]) / 2, true
+		return m, true
+	case OpMin:
+		m := math.Inf(1)
+		for _, seg := range [2][]float64{a, b} {
+			for _, v := range seg {
+				if v < m {
+					m = v
+				}
+			}
+		}
+		return m, true
+	case OpSum, OpAvg:
+		s := 0.0
+		for _, seg := range [2][]float64{a, b} {
+			for _, v := range seg {
+				s += v
+			}
+		}
+		if op == OpAvg {
+			s /= float64(n)
+		}
+		return s, true
 	case OpStdDev:
 		mean := 0.0
-		for _, v := range values {
-			mean += v
+		for _, seg := range [2][]float64{a, b} {
+			for _, v := range seg {
+				mean += v
+			}
 		}
-		mean /= float64(len(values))
+		mean /= float64(n)
 		ss := 0.0
-		for _, v := range values {
-			d := v - mean
-			ss += d * d
+		for _, seg := range [2][]float64{a, b} {
+			for _, v := range seg {
+				d := v - mean
+				ss += d * d
+			}
 		}
-		return math.Sqrt(ss / float64(len(values))), true
+		return math.Sqrt(ss / float64(n)), true
 	case OpSlope:
-		n := float64(len(values))
-		if len(values) < 2 {
+		if n < 2 {
 			return 0, true // a single reading has no trend
 		}
 		// Least squares with x = 0..n-1.
 		var sumX, sumY, sumXY, sumXX float64
-		for i, v := range values {
-			x := float64(i)
-			sumX += x
-			sumY += v
-			sumXY += x * v
-			sumXX += x * x
+		i := 0
+		for _, seg := range [2][]float64{a, b} {
+			for _, v := range seg {
+				x := float64(i)
+				sumX += x
+				sumY += v
+				sumXY += x * v
+				sumXX += x * x
+				i++
+			}
 		}
-		denom := n*sumXX - sumX*sumX
+		fn := float64(n)
+		denom := fn*sumXX - sumX*sumX
 		if denom == 0 {
 			return 0, true
 		}
-		return (n*sumXY - sumX*sumY) / denom, true
+		return (fn*sumXY - sumX*sumY) / denom, true
 	default:
 		return 0, false
 	}
@@ -173,6 +204,8 @@ type Window struct {
 	size  int
 	head  int // index of the oldest element
 	count int
+
+	scratch []float64 // reusable sort buffer for OpMedian reductions
 }
 
 // NewWindow creates a window keeping the latest size readings. size must be
@@ -213,9 +246,51 @@ func (w *Window) Values() []float64 {
 	return out
 }
 
-// Reduce applies op over the window contents.
+// segments returns the window contents as up to two contiguous slices in
+// arrival order (oldest first), without copying. The returned slices alias
+// the ring buffer and are invalidated by the next Push.
+func (w *Window) segments() (a, b []float64) {
+	if w.count == 0 {
+		return nil, nil
+	}
+	end := w.head + w.count
+	if end <= w.size {
+		return w.buf[w.head:end], nil
+	}
+	return w.buf[w.head:w.size], w.buf[:end-w.size]
+}
+
+// Reduce applies op over the window contents. The reduction runs directly
+// on the ring buffer — policy history evaluation allocates nothing except
+// a reusable sort scratch for OpMedian.
 func (w *Window) Reduce(op Op) (float64, bool) {
-	return Reduce(op, w.Values())
+	if w.count == 0 {
+		if op == OpCount {
+			return 0, true
+		}
+		return 0, false
+	}
+	a, b := w.segments()
+	switch op {
+	case OpCount:
+		return float64(w.count), true
+	case OpFirst:
+		return a[0], true
+	case OpLast:
+		if len(b) > 0 {
+			return b[len(b)-1], true
+		}
+		return a[len(a)-1], true
+	case OpMedian:
+		if cap(w.scratch) < w.count {
+			w.scratch = make([]float64, 0, w.size)
+		}
+		tmp := append(append(w.scratch[:0], a...), b...)
+		w.scratch = tmp[:0]
+		return median(tmp), true
+	default:
+		return reduceStream(op, a, b)
+	}
 }
 
 // Reset discards all readings.

@@ -110,6 +110,8 @@ func (r *Reader) Close() {
 	}
 	r.closed = true
 	delete(r.stream.readers, r.id)
+	r.stream.sortedOK = false
+	r.stream.sorted = nil
 	r.buf.Close()
 }
 
@@ -121,6 +123,11 @@ type Stream struct {
 	nextID   int
 	closed   bool
 	produced int
+
+	// sorted caches sortedReaders; invalidated on attach/detach so the
+	// per-Put fan-out loop allocates nothing in steady state.
+	sorted   []*Reader
+	sortedOK bool
 
 	// Per-stream metric handles, resolved by Registry.SetMetrics (nil and
 	// inert otherwise).
@@ -176,6 +183,8 @@ func (st *Stream) Attach(capacity int, mode Mode) *Reader {
 	}
 	st.nextID++
 	st.readers[r.id] = r
+	st.sortedOK = false
+	st.sorted = nil
 	if st.closed {
 		// The producer already finished: the reader sees immediate EOF
 		// instead of blocking forever on data that will never come (the
@@ -186,8 +195,14 @@ func (st *Stream) Attach(capacity int, mode Mode) *Reader {
 	return r
 }
 
-// sortedReaders returns attached readers in attach order.
+// sortedReaders returns attached readers in attach order. The result is
+// cached until the reader topology changes; a fresh slice is built on each
+// rebuild so callers iterating a stale snapshot (e.g. a Put blocked while a
+// reader detaches) stay safe.
 func (st *Stream) sortedReaders() []*Reader {
+	if st.sortedOK {
+		return st.sorted
+	}
 	ids := make([]int, 0, len(st.readers))
 	for id := range st.readers {
 		ids = append(ids, id)
@@ -197,6 +212,8 @@ func (st *Stream) sortedReaders() []*Reader {
 	for _, id := range ids {
 		out = append(out, st.readers[id])
 	}
+	st.sorted = out
+	st.sortedOK = true
 	return out
 }
 
@@ -259,6 +276,8 @@ func (st *Stream) Close() {
 func (st *Stream) reopen() {
 	st.closed = false
 	st.readers = make(map[int]*Reader)
+	st.sortedOK = false
+	st.sorted = nil
 }
 
 // Registry names streams so tasks and sensors can rendezvous on strings
