@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos chaos-restart bench bench-sim loadtest examples
+.PHONY: build test vet race verify chaos chaos-restart bench bench-sim loadtest loadtest-fleet examples
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,18 @@ bench-sim:
 loadtest:
 	$(GO) run -race ./cmd/dyflow-serve loadtest \
 		-clients 8 -tenants 4 -per-client 4 -seeds 6 -tenant-quota 1 \
+		-out BENCH_serve.json
+
+# The same closed loop through the worker fleet (docs/SERVICE.md, "The
+# worker fleet"): the embedded coordinator keeps no local pool, three
+# spawned workers execute everything over the lease-based worker API, and
+# one worker is hard-killed mid-lease — every job must still complete via
+# lease-expiry requeue. Overwrites BENCH_serve.json with the fleet-mode
+# result (mode/lease_expiries fields record the provenance).
+loadtest-fleet:
+	$(GO) run -race ./cmd/dyflow-serve loadtest \
+		-clients 8 -tenants 4 -per-client 8 -seeds 6 -tenant-quota -1 \
+		-fleet 3 -worker-slots 1 -lease-ttl 400ms -kill-worker \
 		-out BENCH_serve.json
 
 # Build every example and run the quickstart end-to-end (CI smoke).

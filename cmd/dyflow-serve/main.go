@@ -1,10 +1,12 @@
-// Command dyflow-serve runs the multi-tenant campaign service and its
-// load-test harness:
+// Command dyflow-serve runs the multi-tenant campaign service, its fleet
+// workers, and its load-test harness:
 //
 //	dyflow-serve [-addr host:port] [-workers N] [-queue-depth N]
-//	             [-tenant-quota N] [-ckpt-dir DIR]
+//	             [-tenant-quota N] [-ckpt-dir DIR] [-lease-ttl D]
+//	dyflow-serve worker -join host:port [-name S] [-slots N]
 //	dyflow-serve loadtest [-addr host:port] [-clients N] [-per-client N]
-//	             [-seeds N] [-scenario S] [-out BENCH_serve.json] ...
+//	             [-seeds N] [-scenario S] [-out BENCH_serve.json]
+//	             [-fleet N] [-worker-slots N] [-kill-worker] ...
 //
 // The service accepts campaign submissions over HTTP (POST /v1/runs),
 // executes them on a sharded worker pool of deterministic simulations, and
@@ -14,10 +16,17 @@
 // address is printed. SIGINT/SIGTERM shut down gracefully: HTTP drains,
 // running simulations abort, and queued work is checkpointed.
 //
+// worker joins a coordinator's fleet: it claims queued runs under leases,
+// executes them, and uploads artifacts to the coordinator's blob store.
+// Run the coordinator with -workers -1 to make the fleet do all the
+// executing.
+//
 // loadtest drives closed-loop load — by default against an embedded
 // in-process server so one command measures the whole stack — and writes
-// throughput and latency percentiles as JSON. docs/SERVICE.md documents
-// both modes.
+// throughput and latency percentiles as JSON. -fleet N spawns N in-process
+// fleet workers (the coordinator then runs with no local pool), and
+// -kill-worker hard-kills one mid-lease to drill lease-expiry recovery.
+// docs/SERVICE.md documents all modes.
 package main
 
 import (
@@ -31,15 +40,24 @@ import (
 	"time"
 
 	"dyflow/internal/server"
+	"dyflow/internal/server/fleet"
 	"dyflow/internal/server/loadgen"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
-		if err := loadtest(os.Args[2:]); err != nil {
-			fatal(err)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "loadtest":
+			if err := loadtest(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "worker":
+			if err := worker(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
 		}
-		return
 	}
 	if err := serve(os.Args[1:]); err != nil {
 		fatal(err)
@@ -54,10 +72,11 @@ func fatal(err error) {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("dyflow-serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address (host:0 picks a free port)")
-	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "local worker-pool size (0 = GOMAXPROCS, negative = fleet workers only)")
 	queueDepth := fs.Int("queue-depth", 0, "bound on queued runs before 429 backpressure (0 = 64)")
 	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight run cap (0 = 8, negative = unlimited)")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory: persist the queue and completed runs across restarts")
+	leaseTTL := fs.Duration("lease-ttl", 0, "fleet lease TTL before an unheartbeated run is requeued (0 = 10s)")
 	fs.Parse(args)
 
 	srv, err := server.New(server.Config{
@@ -65,6 +84,7 @@ func serve(args []string) error {
 		QueueDepth:  *queueDepth,
 		TenantQuota: *tenantQuota,
 		CkptDir:     *ckptDir,
+		LeaseTTL:    *leaseTTL,
 	})
 	if err != nil {
 		return err
@@ -88,6 +108,34 @@ func serve(args []string) error {
 	return srv.Shutdown(sctx)
 }
 
+// worker joins a coordinator's fleet and executes claimed runs until
+// SIGINT/SIGTERM, which drains in-flight work before exiting.
+func worker(args []string) error {
+	fs := flag.NewFlagSet("dyflow-serve worker", flag.ExitOnError)
+	join := fs.String("join", "", "coordinator address (host:port) to register with (required)")
+	name := fs.String("name", "", "worker name in the coordinator's fleet view (default the assigned ID)")
+	slots := fs.Int("slots", 1, "runs executed concurrently")
+	fs.Parse(args)
+	if *join == "" {
+		return fmt.Errorf("worker: -join host:port is required")
+	}
+
+	w, err := fleet.JoinFleet(fleet.WorkerOptions{Coordinator: *join, Name: *name, Slots: *slots})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dyflow-serve: worker %s joined fleet at %s (%d slots)\n", w.ID(), *join, *slots)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Println("dyflow-serve: worker draining (finishing claimed runs)")
+	w.Stop()
+	fmt.Printf("dyflow-serve: worker %s done (%d runs completed)\n", w.ID(), w.Completed())
+	return nil
+}
+
 func loadtest(args []string) error {
 	fs := flag.NewFlagSet("dyflow-serve loadtest", flag.ExitOnError)
 	addr := fs.String("addr", "", "target server address; empty = run an embedded server")
@@ -100,17 +148,28 @@ func loadtest(args []string) error {
 	workers := fs.Int("workers", 0, "embedded server: worker-pool size (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue-depth", 0, "embedded server: queue bound (0 = 64)")
 	tenantQuota := fs.Int("tenant-quota", 0, "embedded server: per-tenant quota (0 = 8)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "embedded server: fleet lease TTL (0 = 10s)")
+	fleetN := fs.Int("fleet", 0, "spawn this many in-process fleet workers (embedded server runs with no local pool)")
+	workerSlots := fs.Int("worker-slots", 0, "concurrent runs per fleet worker (0 = 1)")
+	killWorker := fs.Bool("kill-worker", false, "hard-kill one fleet worker mid-lease (chaos drill)")
 	out := fs.String("out", "", "write the result JSON here (default stdout only)")
 	fs.Parse(args)
 
 	target := *addr
 	var srv *server.Server
 	if target == "" {
+		embeddedWorkers := *workers
+		if *fleetN > 0 {
+			// The fleet does all the executing; the embedded coordinator
+			// keeps no local pool.
+			embeddedWorkers = -1
+		}
 		var err error
 		srv, err = server.New(server.Config{
-			Workers:     *workers,
+			Workers:     embeddedWorkers,
 			QueueDepth:  *queueDepth,
 			TenantQuota: *tenantQuota,
+			LeaseTTL:    *leaseTTL,
 		})
 		if err != nil {
 			return err
@@ -122,13 +181,16 @@ func loadtest(args []string) error {
 	}
 
 	res, err := loadgen.Run(loadgen.Options{
-		Addr:      target,
-		Clients:   *clients,
-		Tenants:   *tenants,
-		PerClient: *perClient,
-		Seeds:     *seeds,
-		Scenario:  *scenario,
-		Machine:   *machine,
+		Addr:         target,
+		Clients:      *clients,
+		Tenants:      *tenants,
+		PerClient:    *perClient,
+		Seeds:        *seeds,
+		Scenario:     *scenario,
+		Machine:      *machine,
+		FleetWorkers: *fleetN,
+		WorkerSlots:  *workerSlots,
+		KillWorker:   *killWorker,
 	})
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -141,6 +203,10 @@ func loadtest(args []string) error {
 		fmt.Printf("loadtest: %d clients × %d jobs: %d done (%d cached, %d backpressured) in %.2fs — %.1f jobs/s, p50 %.3fs p90 %.3fs p99 %.3fs\n",
 			res.Clients, *perClient, res.Completed, res.Cached, res.Rejected429,
 			res.WallSeconds, res.JobsPerSec, res.LatencyP50, res.LatencyP90, res.LatencyP99)
+		if res.Mode == "fleet" {
+			fmt.Printf("loadtest: fleet of %d workers (killed: %v): %.0f claims, %.0f lease expiries, %.0f stale results\n",
+				res.FleetWorkers, res.WorkerKilled, res.FleetClaims, res.LeaseExpiries, res.StaleResults)
+		}
 		if *out != "" {
 			data, merr := json.MarshalIndent(res, "", "  ")
 			if merr != nil {

@@ -1,0 +1,345 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyflow/internal/exp"
+	"dyflow/internal/sim"
+)
+
+// The sentinel errors a worker's progress hook aborts a run with.
+var (
+	errWorkerKilled = errors.New("fleet: worker killed")
+	errLeaseLost    = errors.New("fleet: lease no longer current")
+	errCancelled    = errors.New("fleet: run canceled by coordinator")
+)
+
+// WorkerOptions shapes one fleet worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's host:port.
+	Coordinator string
+	// Name labels the worker in the coordinator's fleet view.
+	Name string
+	// Slots is the number of runs executed concurrently (claim loops).
+	// 0 means 1.
+	Slots int
+	// ClaimWait is the long-poll window a claim blocks for when the queue
+	// is empty. 0 means 500ms.
+	ClaimWait time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// OnClaim, when set (tests, chaos), is called with each claimed run ID
+	// before execution starts — it can block to hold the lease mid-claim.
+	OnClaim func(runID string)
+}
+
+// Worker is one fleet member: it registers with the coordinator, then
+// each slot loops claim → execute (exp.RunJob, heartbeating the lease on
+// wall-clock cadence) → upload blobs → report the result. Determinism
+// makes abandoning work safe at any point: the coordinator's lease expiry
+// requeues the run and its re-execution is byte-identical.
+type Worker struct {
+	o      WorkerOptions
+	id     string
+	base   string
+	client *http.Client
+	hbEach time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	killed   atomic.Bool
+	claiming atomic.Bool // false once Stop was called: finish in-flight, claim no more
+
+	claimed   atomic.Int64
+	completed atomic.Int64
+}
+
+// JoinFleet registers a worker with the coordinator and starts its slot
+// loops. Stop drains it gracefully; Kill abandons everything mid-lease.
+func JoinFleet(o WorkerOptions) (*Worker, error) {
+	if o.Slots <= 0 {
+		o.Slots = 1
+	}
+	if o.ClaimWait <= 0 {
+		o.ClaimWait = 500 * time.Millisecond
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	w := &Worker{o: o, base: "http://" + o.Coordinator, client: client}
+	w.ctx, w.cancel = context.WithCancel(context.Background())
+	w.claiming.Store(true)
+
+	var reg RegisterResponse
+	err := w.post("/v1/workers/register", RegisterRequest{Name: o.Name, Slots: o.Slots}, &reg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: register with %s: %w", o.Coordinator, err)
+	}
+	w.id = reg.WorkerID
+	w.hbEach = time.Duration(reg.HeartbeatMs) * time.Millisecond
+	if w.hbEach <= 0 {
+		w.hbEach = time.Duration(reg.LeaseTTLMs/3) * time.Millisecond
+	}
+	if w.hbEach <= 0 {
+		w.hbEach = time.Second
+	}
+
+	for i := 0; i < o.Slots; i++ {
+		w.wg.Add(1)
+		go w.slot()
+	}
+	return w, nil
+}
+
+// ID returns the coordinator-assigned worker ID.
+func (w *Worker) ID() string { return w.id }
+
+// Completed returns how many runs this worker finished and uploaded.
+func (w *Worker) Completed() int64 { return w.completed.Load() }
+
+// Stop drains the worker: no new claims, in-flight runs finish and
+// upload, then the slot loops exit.
+func (w *Worker) Stop() {
+	w.claiming.Store(false)
+	w.wg.Wait()
+	w.cancel()
+}
+
+// Kill abandons the worker mid-lease, the chaos path: in-flight runs
+// abort without uploading a result, in-flight requests are canceled, and
+// no further traffic reaches the coordinator — exactly what a crashed or
+// partitioned worker looks like. The coordinator's lease expiry requeues
+// whatever this worker held.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	w.claiming.Store(false)
+	w.cancel()
+	w.wg.Wait()
+}
+
+// slot is one claim-execute-upload loop.
+func (w *Worker) slot() {
+	defer w.wg.Done()
+	backoff := 10 * time.Millisecond
+	for w.claiming.Load() {
+		claim, ok, err := w.claim()
+		if err != nil {
+			if w.ctx.Err() != nil {
+				return
+			}
+			// Coordinator unreachable: back off and retry — workers
+			// outlive coordinator restarts.
+			sleepCtx(w.ctx, backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+		if !ok {
+			continue // empty queue after the long-poll window
+		}
+		w.claimed.Add(1)
+		if w.o.OnClaim != nil {
+			w.o.OnClaim(claim.RunID)
+		}
+		if w.killed.Load() {
+			return // abandon the lease: no result, expiry requeues it
+		}
+		w.execute(claim)
+	}
+}
+
+// claim asks the coordinator for a run. ok=false means the queue stayed
+// empty for the poll window.
+func (w *Worker) claim() (ClaimResponse, bool, error) {
+	var resp ClaimResponse
+	code, err := w.postCode("/v1/workers/"+w.id+"/claim",
+		ClaimRequest{WaitMs: w.o.ClaimWait.Milliseconds()}, &resp)
+	if err != nil {
+		return resp, false, err
+	}
+	if code == http.StatusNoContent {
+		return resp, false, nil
+	}
+	return resp, true, nil
+}
+
+// execute runs one claimed job, heartbeating on wall-clock cadence, then
+// uploads artifacts and reports the outcome.
+func (w *Worker) execute(claim ClaimResponse) {
+	ttl := time.Duration(claim.LeaseTTLMs) * time.Millisecond
+	lastTry := time.Now() // last heartbeat attempt
+	lastOK := lastTry     // last heartbeat the coordinator accepted
+	out, err := exp.RunJob(claim.Job, func(world *exp.World) error {
+		world.OnProgress = func(now sim.Time) error {
+			if w.killed.Load() {
+				return errWorkerKilled
+			}
+			if time.Since(lastTry) < w.hbEach {
+				return nil
+			}
+			lastTry = time.Now()
+			var hb HeartbeatResponse
+			if err := w.post("/v1/workers/"+w.id+"/heartbeat",
+				HeartbeatRequest{RunID: claim.RunID, LeaseID: claim.LeaseID, SimNs: int64(now)}, &hb); err != nil {
+				// Lost heartbeats are survivable inside the TTL; give up
+				// only once the lease must have lapsed at the coordinator.
+				if time.Since(lastOK) > ttl {
+					return errLeaseLost
+				}
+				return nil
+			}
+			lastOK = time.Now()
+			switch {
+			case !hb.Valid:
+				return errLeaseLost
+			case hb.Cancel:
+				return errCancelled
+			}
+			return nil
+		}
+		return nil
+	})
+
+	switch {
+	case w.killed.Load():
+		return // crashed workers upload nothing
+	case errors.Is(err, errLeaseLost):
+		return // the run was requeued under us; our result would be stale
+	case errors.Is(err, errCancelled):
+		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
+			Canceled: true, Error: errCancelled.Error()})
+	case err != nil:
+		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID, Error: err.Error()})
+	default:
+		refs, uerr := w.uploadArtifacts(out.Artifacts)
+		if uerr != nil {
+			if w.ctx.Err() != nil {
+				return
+			}
+			w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
+				Error: fmt.Sprintf("artifact upload: %v", uerr)})
+			return
+		}
+		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
+			Converged: out.Converged, SimEndNs: int64(out.SimEnd), Artifacts: refs})
+	}
+}
+
+// uploadArtifacts pushes each artifact blob the coordinator does not
+// already hold (content addressing makes re-executions and shared cache
+// hits free) and returns the name → digest reference map.
+func (w *Worker) uploadArtifacts(artifacts map[string][]byte) (map[string]string, error) {
+	refs := make(map[string]string, len(artifacts))
+	for name, data := range artifacts {
+		digest := Digest(data)
+		refs[name] = digest
+		if w.hasBlob(digest) {
+			continue
+		}
+		if err := w.putBlob(digest, data); err != nil {
+			return nil, err
+		}
+	}
+	return refs, nil
+}
+
+func (w *Worker) hasBlob(digest string) bool {
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodHead, w.base+"/v1/blobs/"+digest, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (w *Worker) putBlob(digest string, data []byte) error {
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodPut, w.base+"/v1/blobs/"+digest, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("PUT blob %s: %s: %s", digest[:12], resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// report posts the result; a rejected (stale) upload is dropped silently —
+// the coordinator has already moved on.
+func (w *Worker) report(res ResultRequest) {
+	var resp ResultResponse
+	if err := w.post("/v1/workers/"+w.id+"/result", res, &resp); err != nil {
+		return // coordinator gone or lease raced; expiry handles the run
+	}
+	if resp.Accepted && res.Error == "" && !res.Canceled {
+		w.completed.Add(1)
+	}
+}
+
+// post sends a JSON request and decodes the JSON response.
+func (w *Worker) post(path string, body, out any) error {
+	_, err := w.postCode(path, body, out)
+	return err
+}
+
+func (w *Worker) postCode(path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.base+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 300 {
+		return resp.StatusCode, fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(raw))
+	}
+	if resp.StatusCode == http.StatusNoContent || out == nil || len(raw) == 0 {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.Unmarshal(raw, out)
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"dyflow/internal/exp"
 	"dyflow/internal/obs"
 	"dyflow/internal/server"
+	"dyflow/internal/server/fleet"
 )
 
 // Options shapes a load run.
@@ -48,6 +49,18 @@ type Options struct {
 	PollEvery time.Duration
 	// Metrics, when set, receives the dyflow_loadgen_* families.
 	Metrics *obs.Registry
+
+	// FleetWorkers, when positive, spawns that many in-process fleet
+	// workers against Addr for the duration of the run — the coordinator
+	// should then run with no local pool (-workers -1) so the fleet does
+	// all the executing.
+	FleetWorkers int
+	// WorkerSlots is each fleet worker's concurrent-claim count. 0 means 1.
+	WorkerSlots int
+	// KillWorker hard-kills one fleet worker while it holds a lease — the
+	// chaos drill: its run must come back via lease expiry and finish on a
+	// surviving worker, visible as lease_expiries >= 1 in the result.
+	KillWorker bool
 }
 
 // Result is the aggregate outcome of a load run, JSON-shaped for
@@ -67,6 +80,14 @@ type Result struct {
 	LatencyP90 float64 `json:"latency_p90_s"`
 	LatencyP99 float64 `json:"latency_p99_s"`
 	LatencyMax float64 `json:"latency_max_s"`
+
+	// Fleet-mode fields, scraped from the coordinator's /metrics.json.
+	Mode          string  `json:"mode"`
+	FleetWorkers  int     `json:"fleet_workers,omitempty"`
+	WorkerKilled  bool    `json:"worker_killed,omitempty"`
+	FleetClaims   float64 `json:"fleet_claims,omitempty"`
+	LeaseExpiries float64 `json:"lease_expiries,omitempty"`
+	StaleResults  float64 `json:"stale_results,omitempty"`
 }
 
 // gen is one load run in flight.
@@ -116,6 +137,19 @@ func Run(o Options) (*Result, error) {
 			"End-to-end job latency.", nil).With()
 	}
 
+	var stopFleet func()
+	if o.FleetWorkers > 0 {
+		var err error
+		if stopFleet, err = g.startFleet(); err != nil {
+			return nil, err
+		}
+		g.res.Mode = "fleet"
+		g.res.FleetWorkers = o.FleetWorkers
+		g.res.WorkerKilled = o.KillWorker
+	} else {
+		g.res.Mode = "single"
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < o.Clients; c++ {
@@ -139,10 +173,112 @@ func Run(o Options) (*Result, error) {
 	if n := len(g.latencies); n > 0 {
 		res.LatencyMax = g.latencies[n-1]
 	}
+	if stopFleet != nil {
+		stopFleet()
+		g.scrapeFleetMetrics()
+	}
 	if res.Errors > 0 {
 		return res, fmt.Errorf("loadgen: %d of %d jobs failed", res.Errors, res.Jobs)
 	}
 	return res, nil
+}
+
+// startFleet joins o.FleetWorkers in-process workers to the coordinator.
+// With KillWorker set, worker 0 is the victim: the moment it claims a run
+// it is held pre-execution and hard-killed mid-lease, so the run must be
+// recovered by lease expiry on a survivor. The returned stop function
+// waits out the kill and drains the survivors.
+func (g *gen) startFleet() (func(), error) {
+	workers := make([]*fleet.Worker, 0, g.o.FleetWorkers)
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	abort := make(chan struct{})
+	killed := make(chan struct{})
+	for i := 0; i < g.o.FleetWorkers; i++ {
+		opts := fleet.WorkerOptions{
+			Coordinator: g.o.Addr,
+			Name:        fmt.Sprintf("loadgen-%d", i),
+			Slots:       g.o.WorkerSlots,
+			ClaimWait:   100 * time.Millisecond,
+		}
+		if i == 0 && g.o.KillWorker {
+			var once sync.Once
+			opts.OnClaim = func(string) {
+				once.Do(func() {
+					close(claimed)
+					<-release
+				})
+			}
+		}
+		w, err := fleet.JoinFleet(opts)
+		if err != nil {
+			for _, started := range workers {
+				started.Stop()
+			}
+			return nil, fmt.Errorf("loadgen: join fleet: %w", err)
+		}
+		workers = append(workers, w)
+	}
+
+	if g.o.KillWorker {
+		go func() {
+			defer close(killed)
+			select {
+			case <-claimed: // victim holds a lease: kill it mid-run
+			case <-abort: // run drained without the victim claiming
+			}
+			done := make(chan struct{})
+			go func() {
+				workers[0].Kill()
+				close(done)
+			}()
+			time.Sleep(20 * time.Millisecond) // let Kill flag the worker first
+			close(release)
+			<-done
+		}()
+	} else {
+		close(killed)
+	}
+
+	return func() {
+		close(abort)
+		<-killed
+		for i, w := range workers {
+			if i == 0 && g.o.KillWorker {
+				continue // already killed
+			}
+			w.Stop()
+		}
+	}, nil
+}
+
+// scrapeFleetMetrics pulls the coordinator's fleet counters into the
+// result so BENCH_serve.json records the chaos outcome.
+func (g *gen) scrapeFleetMetrics() {
+	data, err := g.get("/metrics.json")
+	if err != nil {
+		return
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return
+	}
+	sum := func(name string) float64 {
+		for _, m := range snap.Metrics {
+			if m.Name != name {
+				continue
+			}
+			var total float64
+			for _, s := range m.Series {
+				total += s.Value
+			}
+			return total
+		}
+		return 0
+	}
+	g.res.FleetClaims = sum("dyflow_server_fleet_claims_total")
+	g.res.LeaseExpiries = sum("dyflow_server_fleet_lease_expiries_total")
+	g.res.StaleResults = sum("dyflow_server_fleet_stale_results_total")
 }
 
 // runClient is one closed-loop client: submit, await, fetch, repeat.

@@ -79,3 +79,52 @@ func TestLoadAcceptance(t *testing.T) {
 		t.Fatalf("loadgen metrics wrong:\n%s", buf.String())
 	}
 }
+
+// TestLoadFleetWithWorkerKill is the fleet load acceptance run: the
+// coordinator has no local pool, three spawned workers execute everything,
+// and one of them is hard-killed while holding a lease. Every job still
+// completes, and the chaos is visible in the scraped fleet counters.
+func TestLoadFleetWithWorkerKill(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Workers:     -1,
+		TenantQuota: -1,
+		QueueDepth:  64,
+		LeaseTTL:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	res, err := Run(Options{
+		Addr:         addr,
+		Clients:      8,
+		PerClient:    4,
+		Seeds:        6,
+		FleetWorkers: 3,
+		KillWorker:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "fleet" || res.FleetWorkers != 3 || !res.WorkerKilled {
+		t.Fatalf("fleet provenance missing from result: %+v", res)
+	}
+	if res.Completed != 32 || res.Errors != 0 {
+		t.Fatalf("completed %d of 32 (%d errors)", res.Completed, res.Errors)
+	}
+	if res.LeaseExpiries < 1 {
+		t.Fatalf("killed worker produced no lease expiry: %+v", res)
+	}
+	if res.FleetClaims < 1 {
+		t.Fatalf("no fleet claims recorded: %+v", res)
+	}
+}

@@ -18,6 +18,7 @@ type metrics struct {
 	runSeconds   *obs.Histogram  // wall-clock execution time (non-cached)
 	requeued     *obs.Counter    // pending runs resumed after a restart
 	httpReqs     *obs.CounterVec // {route}
+	journalErrs  *obs.Counter    // WAL appends that failed (durability loss)
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -42,5 +43,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Pending runs requeued from the checkpoint store after a restart.").With(),
 		httpReqs: reg.Counter("dyflow_server_http_requests_total",
 			"API requests by route.", "route"),
+		journalErrs: reg.Counter("dyflow_server_journal_errors_total",
+			"Checkpoint-journal appends that failed; the affected transition is not durable.").With(),
 	}
 }

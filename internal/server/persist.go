@@ -14,9 +14,12 @@ import (
 // through a ckpt.Store — a submission is journaled before its 2xx response
 // is written, completion/cancellation when they happen — and snapshots the
 // whole run table on graceful shutdown and after every restore (compacting
-// the journal). A killed server therefore restores every acknowledged
-// submission: done runs with their artifacts, queued and running runs back
-// onto the queue.
+// the journal). Artifact bytes never enter the WAL: a done run carries
+// name → sha256 references into the content-addressed blob store
+// (CkptDir/blobs), so N runs sharing a result cost one stored copy and
+// replay stays cheap. A killed server therefore restores every
+// acknowledged submission: done runs with their artifact references,
+// queued and running runs back onto the queue.
 const (
 	kindState  = "server.state"  // snapshot: the full run table
 	kindSubmit = "server.submit" // journal: one acknowledged submission
@@ -24,22 +27,31 @@ const (
 	kindCancel = "server.cancel" // journal: one queued-run cancellation
 )
 
-// persistedRun is a Run's durable form. Artifacts are carried only by
-// non-cached done runs — cached runs resolve theirs from the run they
-// duplicate (same job key) on restore, so N cache hits cost one copy.
+// journalStore is the slice of ckpt.Store the server persists through —
+// an interface so tests can inject append failures and prove they are
+// observable (dyflow_server_journal_errors_total).
+type journalStore interface {
+	Append(kind string, v any) error
+	SaveSnapshot(blob []byte) error
+	LoadSnapshot() ([]byte, error)
+	Replay(fn func(rec ckpt.Record) error) error
+}
+
+// persistedRun is a Run's durable form. ArtifactRefs are blob digests,
+// not bytes — cheap enough to carry on every done record, cached or not.
 type persistedRun struct {
-	ID          string            `json:"id"`
-	Tenant      string            `json:"tenant"`
-	Job         exp.Job           `json:"job"`
-	State       RunState          `json:"state"`
-	Cached      bool              `json:"cached,omitempty"`
-	Err         string            `json:"error,omitempty"`
-	Converged   bool              `json:"converged,omitempty"`
-	SimEndNs    int64             `json:"sim_end_ns,omitempty"`
-	Artifacts   map[string][]byte `json:"artifacts,omitempty"`
-	SubmittedAt time.Time         `json:"submitted_at"`
-	StartedAt   time.Time         `json:"started_at,omitempty"`
-	FinishedAt  time.Time         `json:"finished_at,omitempty"`
+	ID           string            `json:"id"`
+	Tenant       string            `json:"tenant"`
+	Job          exp.Job           `json:"job"`
+	State        RunState          `json:"state"`
+	Cached       bool              `json:"cached,omitempty"`
+	Err          string            `json:"error,omitempty"`
+	Converged    bool              `json:"converged,omitempty"`
+	SimEndNs     int64             `json:"sim_end_ns,omitempty"`
+	ArtifactRefs map[string]string `json:"artifact_refs,omitempty"`
+	SubmittedAt  time.Time         `json:"submitted_at"`
+	StartedAt    time.Time         `json:"started_at,omitempty"`
+	FinishedAt   time.Time         `json:"finished_at,omitempty"`
 }
 
 // persistedState is the snapshot payload: every run in submission order.
@@ -48,24 +60,21 @@ type persistedState struct {
 	Runs   []persistedRun `json:"runs"`
 }
 
-func (r *Run) persisted(withArtifacts bool) persistedRun {
-	p := persistedRun{
-		ID:          r.ID,
-		Tenant:      r.Tenant,
-		Job:         r.Job,
-		State:       r.State,
-		Cached:      r.Cached,
-		Err:         r.Err,
-		Converged:   r.Converged,
-		SimEndNs:    int64(r.SimEnd),
-		SubmittedAt: r.SubmittedAt,
-		StartedAt:   r.StartedAt,
-		FinishedAt:  r.FinishedAt,
+func (r *Run) persisted() persistedRun {
+	return persistedRun{
+		ID:           r.ID,
+		Tenant:       r.Tenant,
+		Job:          r.Job,
+		State:        r.State,
+		Cached:       r.Cached,
+		Err:          r.Err,
+		Converged:    r.Converged,
+		SimEndNs:     int64(r.SimEnd),
+		ArtifactRefs: r.Artifacts,
+		SubmittedAt:  r.SubmittedAt,
+		StartedAt:    r.StartedAt,
+		FinishedAt:   r.FinishedAt,
 	}
-	if withArtifacts && !r.Cached {
-		p.Artifacts = r.Artifacts
-	}
-	return p
 }
 
 func (s *Server) applyPersisted(p persistedRun) *Run {
@@ -79,7 +88,7 @@ func (s *Server) applyPersisted(p persistedRun) *Run {
 		Err:         p.Err,
 		Converged:   p.Converged,
 		SimEnd:      time.Duration(p.SimEndNs),
-		Artifacts:   p.Artifacts,
+		Artifacts:   p.ArtifactRefs,
 		SubmittedAt: p.SubmittedAt,
 		StartedAt:   p.StartedAt,
 		FinishedAt:  p.FinishedAt,
@@ -88,12 +97,19 @@ func (s *Server) applyPersisted(p persistedRun) *Run {
 	return r
 }
 
-// journal appends one entry, if persistence is on.
+// journal appends one entry, if persistence is on. A failed append is
+// counted in dyflow_server_journal_errors_total and logged — silent
+// durability loss is the one failure mode a recovery system cannot have.
 func (s *Server) journal(kind string, v any) error {
 	if s.store == nil {
 		return nil
 	}
-	return s.store.Append(kind, v)
+	err := s.store.Append(kind, v)
+	if err != nil {
+		s.met.journalErrs.Inc()
+		s.logf("server: journal %s: %v", kind, err)
+	}
+	return err
 }
 
 // snapshotLocked persists the full run table, superseding the journal.
@@ -104,7 +120,7 @@ func (s *Server) snapshotLocked() error {
 	}
 	st := persistedState{NextID: s.nextID}
 	for _, id := range s.order {
-		st.Runs = append(st.Runs, s.runs[id].persisted(true))
+		st.Runs = append(st.Runs, s.runs[id].persisted())
 	}
 	blob, err := ckpt.Encode(kindState, st)
 	if err != nil {
@@ -118,6 +134,19 @@ func (s *Server) snapshotLocked() error {
 // queued: the simulation is deterministic, so re-executing from the start
 // is safe), and snapshots immediately to compact. Replay is idempotent by
 // run ID, so an entry duplicated across snapshot and journal is harmless.
+//
+// Two recovery rules matter here:
+//
+//   - Requeueing bypasses the queue's capacity bound (queue.requeue): the
+//     bound is admission backpressure for new submissions, and a server
+//     killed with queued+running > QueueDepth must still be able to
+//     restart and drain.
+//   - A run recorded done whose artifact references do not resolve in the
+//     blob store — a cached run whose source's terminal record was lost,
+//     or missing blob files — is restored as queued instead of as a done
+//     run whose artifact GETs would 404 forever. Determinism makes the
+//     re-execution (or a cache hit at claim time, once the source
+//     re-completes) produce the identical bytes.
 func (s *Server) restore(dir string) error {
 	store, err := ckpt.NewStore(dir)
 	if err != nil {
@@ -169,8 +198,8 @@ func (s *Server) restore(dir string) error {
 			r.SimEnd = time.Duration(p.SimEndNs)
 			r.simNow.Store(p.SimEndNs)
 			r.FinishedAt = p.FinishedAt
-			if p.Artifacts != nil {
-				r.Artifacts = p.Artifacts
+			if p.ArtifactRefs != nil {
+				r.Artifacts = p.ArtifactRefs
 			}
 		}
 		return nil
@@ -179,11 +208,12 @@ func (s *Server) restore(dir string) error {
 		return err
 	}
 
-	// Index completed runs for the cache, then give cached runs (persisted
-	// without artifacts) their bytes back from the run they duplicated.
+	// Index completed runs for the cache, then give cached runs persisted
+	// before the reference scheme (no refs of their own) their references
+	// back from the run they duplicated.
 	for _, id := range s.order {
 		r := s.runs[id]
-		if r.State == StateDone && !r.Cached && r.Artifacts != nil {
+		if r.State == StateDone && !r.Cached && s.refsResolvable(r) {
 			if _, have := s.cache[r.Job.Key()]; !have {
 				s.cache[r.Job.Key()] = r
 			}
@@ -198,8 +228,28 @@ func (s *Server) restore(dir string) error {
 		}
 	}
 
+	// Demote done runs whose artifacts cannot be served — the orphaned
+	// cached run whose source was caught mid-execution by the crash (no
+	// donor to re-link from), or a run whose blob files went missing.
+	// They re-execute (or hit the cache when the source re-completes)
+	// rather than sit "done" with artifact 404s.
+	for _, id := range s.order {
+		r := s.runs[id]
+		if r.State == StateDone && !s.refsResolvable(r) {
+			r.State = StateQueued
+			r.Cached = false
+			r.Artifacts = nil
+			r.Converged = false
+			r.SimEnd = 0
+			r.FinishedAt = time.Time{}
+		}
+	}
+
 	// Requeue everything that had not finished. A run caught mid-execution
 	// by the crash restarts from scratch — determinism makes that exact.
+	// requeue bypasses the capacity bound: these runs were all admitted
+	// (and journaled) before the crash, and backpressure applies to new
+	// submissions only — a server killed under full load must restart.
 	for _, id := range s.order {
 		r := s.runs[id]
 		if r.State.Terminal() {
@@ -207,16 +257,28 @@ func (s *Server) restore(dir string) error {
 		}
 		r.State = StateQueued
 		r.StartedAt = time.Time{}
+		r.Worker = ""
+		r.LeaseID = ""
 		r.simNow.Store(0)
 		s.inflight[r.Tenant]++
-		if err := s.queue.push(r.Shard, id); err != nil {
-			return err
-		}
+		s.queue.requeue(r.Shard, id)
 		s.met.requeued.Inc()
 	}
 
 	if s.nextID < len(s.order) {
 		s.nextID = len(s.order)
 	}
-	return s.snapshotLocked()
+	if err := s.snapshotLocked(); err != nil {
+		return err
+	}
+
+	// Compact the blob store to what the restored run table references.
+	keep := map[string]bool{}
+	for _, r := range s.runs {
+		for _, digest := range r.Artifacts {
+			keep[digest] = true
+		}
+	}
+	s.blobs.GC(keep)
+	return nil
 }

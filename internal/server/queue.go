@@ -66,6 +66,27 @@ func (q *shardedQueue) push(shard int, id string) error {
 	return nil
 }
 
+// requeue reinserts a run at the front of its shard, bypassing the
+// capacity bound: the bound is admission backpressure for *new*
+// submissions, while a requeued run was already admitted once — restore
+// after a crash, a lapsed fleet lease, a rejected result upload. Front
+// insertion keeps a requeued run ahead of work submitted after it. The
+// queue may transiently exceed max; push keeps rejecting new submissions
+// until it drains below the bound again.
+func (q *shardedQueue) requeue(shard int, id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		// Shutting down: the run stays queued in the run table and the
+		// shutdown snapshot (or journal) carries it to the next process.
+		return
+	}
+	q.shards[shard] = append([]string{id}, q.shards[shard]...)
+	q.size++
+	q.gauge(shard)
+	q.cond.Signal()
+}
+
 // pop blocks until a run is available (the worker's own shard first, then
 // stealing round-robin from the others) or the queue is closed (ok=false).
 func (q *shardedQueue) pop(worker int) (string, bool) {
@@ -88,6 +109,23 @@ func (q *shardedQueue) pop(worker int) (string, bool) {
 		}
 		q.cond.Wait()
 	}
+}
+
+// tryPopAny pops from the first non-empty shard without blocking — the
+// fleet claim handler polls it inside its own bounded wait loop.
+func (q *shardedQueue) tryPopAny() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for s := range q.shards {
+		if len(q.shards[s]) > 0 {
+			id := q.shards[s][0]
+			q.shards[s] = q.shards[s][1:]
+			q.size--
+			q.gauge(s)
+			return id, true
+		}
+	}
+	return "", false
 }
 
 // remove deletes a queued run (cancellation), reporting whether it was

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyflow/internal/ckpt"
+	"dyflow/internal/exp"
+)
+
+// TestRestoreOverCapacityQueue is the restore-backpressure regression: a
+// server killed with queued+running > QueueDepth must restart. The queue's
+// capacity bound is admission backpressure for new submissions; the
+// restore requeue used the same bounded push and failed with errQueueFull,
+// leaving the service unable to come back up under exactly the load that
+// likely killed it.
+func TestRestoreOverCapacityQueue(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := New(Config{Workers: 2, QueueDepth: 2, TenantQuota: -1, CkptDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan *Run, 2)
+	release := make(chan struct{})
+	s1.beforeRun = func(r *Run) {
+		started <- r
+		<-release
+	}
+
+	// 2 running (held by the hook) + 2 queued = 4 unfinished > depth 2. The
+	// first pair must be in the workers' hands before the second pair can
+	// clear admission.
+	var ids []string
+	for i := 0; i < 2; i++ {
+		st, err := s1.Submit(fmt.Sprintf("t%d", i), quick(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("workers never picked up runs")
+		}
+	}
+	for i := 2; i < 4; i++ {
+		st, err := s1.Submit(fmt.Sprintf("t%d", i), quick(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if depth := s1.QueueDepth(); depth != 2 {
+		t.Fatalf("queue depth %d with 2 runs held running", depth)
+	}
+	// Kill: flag shutdown first so the released runs abort at their next
+	// progress tick instead of completing, then let Close reap the workers.
+	s1.mu.Lock()
+	s1.stopping = true
+	s1.mu.Unlock()
+	close(release)
+	s1.Close()
+
+	s2, err := New(Config{Workers: 2, QueueDepth: 2, TenantQuota: -1, CkptDir: dir})
+	if err != nil {
+		t.Fatalf("restart with unfinished runs over QueueDepth: %v", err)
+	}
+	defer s2.Close()
+	if got := len(s2.Runs()); got != 4 {
+		t.Fatalf("restored %d of 4 runs", got)
+	}
+	for _, id := range ids {
+		if st := await(t, s2, id); st.State != StateDone {
+			t.Fatalf("run %s ended %s after over-capacity restart: %s", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestRestoreOrphanedCachedRun is the orphaned-cache regression: a run
+// journaled as a cached completion while its cache-source run was caught
+// mid-execution by the crash restored as done with no artifacts — every
+// artifact GET a permanent 404. Such a run must come back as queued (its
+// job is deterministic, so re-execution or a later cache hit reproduces
+// the identical bytes), never as done-but-unservable.
+func TestRestoreOrphanedCachedRun(t *testing.T) {
+	dir := t.TempDir()
+	job, err := quick(7).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Handcraft the crash WAL the bug needs: run A acknowledged and caught
+	// mid-execution (submit record only, no terminal record), run B
+	// journaled as a cached done run with no artifact references of its
+	// own — it pointed at A's in-memory artifacts, which died with the
+	// process.
+	store, err := ckpt.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(store.Append(kindSubmit, persistedRun{
+		ID: "run-000000", Tenant: "alice", Job: job, State: StateQueued, SubmittedAt: now,
+	}))
+	must(store.Append(kindSubmit, persistedRun{
+		ID: "run-000001", Tenant: "bob", Job: job, State: StateDone, Cached: true,
+		Converged: true, SubmittedAt: now, FinishedAt: now,
+	}))
+
+	s, err := New(Config{Workers: 1, TenantQuota: -1, CkptDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// The moment restore finishes, no run may sit done with unservable
+	// artifacts.
+	for _, st := range s.Runs() {
+		if st.State == StateDone {
+			if _, err := s.Artifact(st.ID, exp.ArtifactReport); err != nil {
+				t.Fatalf("restored run %s is done but its artifacts 404: %v", st.ID, err)
+			}
+		}
+	}
+
+	for _, id := range []string{"run-000000", "run-000001"} {
+		st := await(t, s, id)
+		if st.State != StateDone {
+			t.Fatalf("run %s ended %s: %s", id, st.State, st.Error)
+		}
+		if blob, err := s.Artifact(id, exp.ArtifactReport); err != nil || len(blob) == 0 {
+			t.Fatalf("run %s report after recovery: %v (%d bytes)", id, err, len(blob))
+		}
+	}
+	a, _ := s.Artifact("run-000000", exp.ArtifactReport)
+	b, _ := s.Artifact("run-000001", exp.ArtifactReport)
+	if !bytes.Equal(a, b) {
+		t.Fatal("recovered runs of the identical job diverge")
+	}
+}
+
+// TestRestoreMissingBlobsRequeues covers the other orphan shape: done runs
+// whose journaled artifact references point at blobs that did not survive
+// the crash. They restore as queued and re-execute rather than serving
+// artifact 404s.
+func TestRestoreMissingBlobsRequeues(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := New(Config{Workers: 1, TenantQuota: -1, CkptDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.Submit("alice", quick(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first = await(t, s1, first.ID)
+	second, err := s1.Submit("bob", quick(3)) // cache hit, shares first's blobs
+	if err != nil || !second.Cached {
+		t.Fatalf("resubmission not cached: %v %+v", err, second)
+	}
+	s1.Close()
+	if err := os.RemoveAll(filepath.Join(dir, "blobs")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Workers: 1, TenantQuota: -1, CkptDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range []string{first.ID, second.ID} {
+		st := await(t, s2, id)
+		if st.State != StateDone {
+			t.Fatalf("run %s ended %s after blob loss: %s", id, st.State, st.Error)
+		}
+		if blob, err := s2.Artifact(id, exp.ArtifactReport); err != nil || len(blob) == 0 {
+			t.Fatalf("run %s report after blob loss: %v (%d bytes)", id, err, len(blob))
+		}
+	}
+}
+
+// flakyJournal fails appends for selected record kinds — injected in place
+// of the real ckpt.Store to prove journal failures are observable.
+type flakyJournal struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (f *flakyJournal) Append(kind string, v any) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail[kind] {
+		return fmt.Errorf("flaky journal: append %s refused", kind)
+	}
+	return nil
+}
+func (f *flakyJournal) SaveSnapshot([]byte) error            { return nil }
+func (f *flakyJournal) LoadSnapshot() ([]byte, error)        { return nil, os.ErrNotExist }
+func (f *flakyJournal) Replay(func(ckpt.Record) error) error { return nil }
+
+// syncBuf is a logger sink safe to read while worker goroutines log.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestJournalFailuresObservable is the journal-observability regression:
+// a failed WAL append — durability silently lost before the fix — must
+// increment dyflow_server_journal_errors_total and reach the configured
+// logger, on both the submit path and the terminal-transition path.
+func TestJournalFailuresObservable(t *testing.T) {
+	sink := &syncBuf{}
+	s, err := New(Config{Workers: 1, Logger: log.New(sink, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	journal := &flakyJournal{fail: map[string]bool{kindSubmit: true}}
+	s.mu.Lock()
+	s.store = journal
+	s.mu.Unlock()
+
+	// Submit-path failure: the submission is refused (never acknowledged
+	// without durability) and the failure is counted.
+	if _, err := s.Submit("alice", quick(1)); err == nil {
+		t.Fatal("submit acknowledged despite journal failure")
+	}
+	if v, _ := s.Registry().Value("dyflow_server_journal_errors_total"); v != 1 {
+		t.Fatalf("journal_errors_total = %v after failed submit append", v)
+	}
+
+	// Terminal-path failure: the run still finishes (re-execution after a
+	// restart is deterministic) but the lost durability is counted.
+	journal.mu.Lock()
+	journal.fail = map[string]bool{kindDone: true}
+	journal.mu.Unlock()
+	st, err := s.Submit("alice", quick(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = await(t, s, st.ID); st.State != StateDone {
+		t.Fatalf("run ended %s with failing done-append", st.State)
+	}
+	if v, _ := s.Registry().Value("dyflow_server_journal_errors_total"); v != 2 {
+		t.Fatalf("journal_errors_total = %v after failed done append", v)
+	}
+	if text := sink.String(); !strings.Contains(text, "journal") {
+		t.Fatalf("journal failures never reached the logger:\n%s", text)
+	}
+	if text := metricsText(t, s); !strings.Contains(text, "dyflow_server_journal_errors_total 2") {
+		t.Fatal("journal_errors_total missing from the Prometheus exposition")
+	}
+}

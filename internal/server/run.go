@@ -41,7 +41,15 @@ type Run struct {
 	Err       string
 	Converged bool
 	SimEnd    time.Duration
-	Artifacts map[string][]byte
+	// Artifacts maps artifact names to blob digests in the coordinator's
+	// content-addressed store — never inline bytes, so cached runs, the
+	// WAL, and fleet-wide sharing all reference one stored copy.
+	Artifacts map[string]string
+
+	// Worker and LeaseID identify the fleet worker holding this run while
+	// it executes remotely ("" for local worker-pool execution).
+	Worker  string
+	LeaseID string
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -64,6 +72,9 @@ type Status struct {
 	// running, the final makespan once done.
 	SimSeconds float64 `json:"sim_seconds"`
 	Converged  bool    `json:"converged,omitempty"`
+	// Worker is the fleet worker executing the run ("" when the
+	// coordinator's local pool runs it).
+	Worker string `json:"worker,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -85,6 +96,7 @@ func (r *Run) status() Status {
 		Error:       r.Err,
 		SimSeconds:  time.Duration(r.simNow.Load()).Seconds(),
 		Converged:   r.Converged,
+		Worker:      r.Worker,
 		SubmittedAt: r.SubmittedAt,
 	}
 	if r.State == StateDone {

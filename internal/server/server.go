@@ -15,15 +15,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
-	"dyflow/internal/ckpt"
 	"dyflow/internal/exp"
 	"dyflow/internal/obs"
+	"dyflow/internal/server/fleet"
 	"dyflow/internal/sim"
 )
 
@@ -47,24 +50,39 @@ type Config struct {
 	// submissions beyond it get 429. 0 means 8; negative means unlimited.
 	TenantQuota int
 	// CkptDir, when set, persists the queue and completed-run index
-	// through a ckpt.Store there, surviving kill -9.
+	// through a ckpt.Store there (artifact blobs under CkptDir/blobs),
+	// surviving kill -9.
 	CkptDir string
+	// LeaseTTL is how long a fleet worker's claim on a run stays valid
+	// without a heartbeat before the coordinator requeues the run.
+	// 0 means 10s.
+	LeaseTTL time.Duration
+	// Logger receives operational messages — journal failures, HTTP serve
+	// errors. Nil means a stderr logger.
+	Logger *log.Logger
 	// Metrics receives the dyflow_server_* families. Nil means a private
 	// registry (reachable via Registry()).
 	Metrics *obs.Registry
 }
 
-// Server is the campaign service.
+// Server is the campaign service's coordinator: admission, quotas, the
+// deterministic result cache, the ckpt WAL, the content-addressed blob
+// store, and the fleet lease manager. Runs execute either on the local
+// worker pool (cfg.Workers) or on remote fleet workers claiming over the
+// worker API — both drain the same sharded queue.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	met   *metrics
-	queue *shardedQueue
-	store *ckpt.Store // nil when persistence is off
+	cfg    Config
+	reg    *obs.Registry
+	met    *metrics
+	queue  *shardedQueue
+	store  journalStore // nil when persistence is off
+	blobs  *fleet.BlobStore
+	fleet  *fleet.Manager
+	logger *log.Logger
 
 	mu       sync.Mutex
 	runs     map[string]*Run
-	order    []string       // run IDs in submission order
+	order    []string // run IDs in submission order
 	nextID   int
 	cache    map[string]*Run // job key → first completed run
 	inflight map[string]int  // tenant → queued+running runs
@@ -99,18 +117,34 @@ func New(cfg Config) (*Server, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(os.Stderr, "dyflow-serve: ", log.LstdFlags)
+	}
 	met := newMetrics(reg)
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
 		met:      met,
+		logger:   logger,
 		queue:    newShardedQueue(shards, cfg.QueueDepth, met.queueDepth),
 		runs:     map[string]*Run{},
 		cache:    map[string]*Run{},
 		inflight: map[string]int{},
 	}
+	blobDir := ""
+	if cfg.CkptDir != "" {
+		blobDir = filepath.Join(cfg.CkptDir, "blobs")
+	}
+	blobs, err := fleet.NewBlobStore(blobDir, reg)
+	if err != nil {
+		return nil, fmt.Errorf("server: blob store: %w", err)
+	}
+	s.blobs = blobs
+	s.fleet = fleet.NewManager(reg, cfg.LeaseTTL, s.onLeaseExpire)
 	if cfg.CkptDir != "" {
 		if err := s.restore(cfg.CkptDir); err != nil {
+			s.fleet.Close()
 			return nil, fmt.Errorf("server: restore: %w", err)
 		}
 	}
@@ -119,6 +153,11 @@ func New(cfg Config) (*Server, error) {
 		go s.worker(i)
 	}
 	return s, nil
+}
+
+// logf writes one operational message through the configured logger.
+func (s *Server) logf(format string, args ...any) {
+	s.logger.Printf(format, args...)
 }
 
 // Registry returns the registry holding the dyflow_server_* families.
@@ -152,6 +191,12 @@ func (s *Server) execute(id string) {
 		s.mu.Unlock()
 		return
 	}
+	if s.finishFromCacheLocked(r) {
+		// An identical run completed while this one sat queued (or it was
+		// requeued with orphaned artifacts) — answer from the cache.
+		s.mu.Unlock()
+		return
+	}
 	r.State = StateRunning
 	r.StartedAt = time.Now()
 	hook := s.beforeRun
@@ -177,13 +222,21 @@ func (s *Server) execute(id string) {
 	})
 	s.met.active.Add(-1)
 
+	// Store the artifacts content-addressed before taking the run lock:
+	// blob writes may hit disk, and identical re-executions dedup to the
+	// already-stored copy.
+	var refs map[string]string
+	if err == nil {
+		refs, err = s.storeArtifacts(out.Artifacts)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
 	case err == nil:
 		r.Converged = out.Converged
 		r.SimEnd = out.SimEnd
-		r.Artifacts = out.Artifacts
+		r.Artifacts = refs
 		if _, have := s.cache[r.Job.Key()]; !have {
 			s.cache[r.Job.Key()] = r
 		}
@@ -203,13 +256,15 @@ func (s *Server) execute(id string) {
 }
 
 // finishLocked moves a run to a terminal state, releasing its quota slot
-// and journaling the transition. Caller holds the server mutex.
+// and lease and journaling the transition. Caller holds the server mutex.
 func (s *Server) finishLocked(r *Run, state RunState, err error) {
 	r.State = state
 	if err != nil && state == StateFailed {
 		r.Err = err.Error()
 	}
 	r.FinishedAt = time.Now()
+	r.LeaseID = ""
+	s.fleet.Revoke(r.ID)
 	s.inflight[r.Tenant]--
 	if s.inflight[r.Tenant] <= 0 {
 		delete(s.inflight, r.Tenant)
@@ -219,11 +274,80 @@ func (s *Server) finishLocked(r *Run, state RunState, err error) {
 	if state == StateCanceled {
 		kind = kindCancel
 	}
-	if jerr := s.journal(kind, r.persisted(true)); jerr != nil {
-		// Journaling a terminal transition failing is not fatal to the
-		// run — on restart the run re-executes, which is deterministic.
-		fmt.Printf("server: journal %s: %v\n", kind, jerr)
+	// A failed journal append is not fatal to the run — on restart the run
+	// re-executes, which is deterministic — but it IS durability loss;
+	// journal() counts it in dyflow_server_journal_errors_total and logs.
+	s.journal(kind, r.persisted())
+}
+
+// finishFromCacheLocked completes a claimed run from the result cache
+// when an identical job finished after this run was admitted. Reports
+// whether it did. Caller holds the server mutex.
+func (s *Server) finishFromCacheLocked(r *Run) bool {
+	src := s.cache[r.Job.Key()]
+	if src == nil || src.State != StateDone || src == r {
+		return false
 	}
+	r.Cached = true
+	r.Converged = src.Converged
+	r.SimEnd = src.SimEnd
+	r.simNow.Store(int64(src.SimEnd))
+	r.Artifacts = src.Artifacts
+	s.met.cacheHits.With(r.Tenant).Inc()
+	s.finishLocked(r, StateDone, nil)
+	return true
+}
+
+// storeArtifacts puts a finished run's artifact bytes into the
+// content-addressed blob store and returns the name → digest references.
+func (s *Server) storeArtifacts(artifacts map[string][]byte) (map[string]string, error) {
+	refs := make(map[string]string, len(artifacts))
+	for name, data := range artifacts {
+		digest, err := s.blobs.Put(data)
+		if err != nil {
+			return nil, fmt.Errorf("server: store artifact %s: %w", name, err)
+		}
+		refs[name] = digest
+	}
+	return refs, nil
+}
+
+// refsResolvable reports whether every artifact reference of a done run
+// resolves in the blob store.
+func (s *Server) refsResolvable(r *Run) bool {
+	if len(r.Artifacts) == 0 {
+		return false
+	}
+	for _, digest := range r.Artifacts {
+		if !s.blobs.Has(digest) {
+			return false
+		}
+	}
+	return true
+}
+
+// onLeaseExpire is the fleet manager's lapsed-lease callback: the worker
+// holding the run died or stalled, so the run goes back to the queue for
+// exact re-execution. Never called with the manager lock held.
+func (s *Server) onLeaseExpire(runID, workerID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.runs[runID]
+	if r == nil || r.State != StateRunning || r.Worker != workerID {
+		return
+	}
+	if r.cancel.Load() {
+		// The worker died before observing the cancel; finish it here.
+		s.finishLocked(r, StateCanceled, errRunCanceled)
+		return
+	}
+	s.logf("server: lease on %s lapsed at %s; requeued", runID, workerID)
+	r.State = StateQueued
+	r.StartedAt = time.Time{}
+	r.Worker = ""
+	r.LeaseID = ""
+	r.simNow.Store(0)
+	s.queue.requeue(r.Shard, runID)
 }
 
 func (s *Server) isStopping() bool {
@@ -263,7 +387,7 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 		s.met.submissions.With(tenant).Inc()
 		s.met.cacheHits.With(tenant).Inc()
 		s.met.runsTotal.With(string(StateDone)).Inc()
-		if err := s.journal(kindSubmit, r.persisted(false)); err != nil {
+		if err := s.journal(kindSubmit, r.persisted()); err != nil {
 			return Status{}, s.dropRunLocked(r, err)
 		}
 		return r.status(), nil
@@ -291,7 +415,7 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 	}
 	// Journal after the push succeeded but before acknowledging: a crash
 	// in the window loses only runs the client never saw accepted.
-	if err := s.journal(kindSubmit, r.persisted(false)); err != nil {
+	if err := s.journal(kindSubmit, r.persisted()); err != nil {
 		s.queue.remove(r.ID)
 		return Status{}, s.dropRunLocked(r, err)
 	}
@@ -381,11 +505,15 @@ func (s *Server) Artifact(id, name string) ([]byte, error) {
 	if r.State != StateDone {
 		return nil, &APIError{Code: http.StatusConflict, Msg: fmt.Sprintf("run is %s, artifacts exist once it is done", r.State)}
 	}
-	blob, ok := r.Artifacts[name]
+	digest, ok := r.Artifacts[name]
 	if !ok {
 		return nil, &APIError{Code: http.StatusNotFound, Msg: "no such artifact"}
 	}
-	return blob, nil
+	data, ok := s.blobs.Get(digest)
+	if !ok {
+		return nil, &APIError{Code: http.StatusNotFound, Msg: "artifact blob missing from store"}
+	}
+	return data, nil
 }
 
 // QueueDepth returns the number of queued runs (tests and the drain loop).
@@ -402,7 +530,7 @@ func (s *Server) Start(addr string) (string, error) {
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Printf("server: serve: %v\n", err)
+			s.logf("server: serve: %v", err)
 		}
 	}()
 	return ln.Addr().String(), nil
@@ -423,9 +551,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.queue.close()
 	s.workers.Wait()
+	s.fleet.Close()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Runs still leased to fleet workers go back to queued in the
+	// snapshot: the next process re-executes them exactly, and any late
+	// result upload from the old worker is rejected as stale.
+	for _, id := range s.fleet.LeasedRuns() {
+		s.fleet.Revoke(id)
+		if r := s.runs[id]; r != nil && r.State == StateRunning {
+			r.State = StateQueued
+			r.StartedAt = time.Time{}
+			r.Worker = ""
+			r.LeaseID = ""
+			r.simNow.Store(0)
+		}
+	}
 	if err := s.snapshotLocked(); err != nil {
 		return err
 	}
@@ -443,6 +585,7 @@ func (s *Server) Close() {
 	}
 	s.queue.close()
 	s.workers.Wait()
+	s.fleet.Close()
 }
 
 // APIError is an error with an HTTP status.
@@ -467,12 +610,15 @@ func httpError(w http.ResponseWriter, err error) {
 	http.Error(w, api.Msg, api.Code)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone; all we can do is not lose the signal.
+		s.logf("server: write json response: %v", err)
+	}
 }
 
 // SubmitRequest is the POST /v1/runs body: a tenant plus the job fields.
@@ -490,6 +636,9 @@ type SubmitRequest struct {
 //	GET  /v1/runs/{id}/artifacts/{name}  report | gantt | perfetto | metrics
 //	GET  /metrics, /metrics.json       the server's own registry
 //	GET  /healthz                      liveness
+//
+// plus the fleet worker API (worker_api.go): /v1/workers/*, /v1/blobs/*,
+// and GET /v1/fleet.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
@@ -509,10 +658,10 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, st)
+		s.writeJSON(w, http.StatusAccepted, st)
 	})
 	route("GET /v1/runs", "list", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"runs": s.Runs()})
+		s.writeJSON(w, http.StatusOK, map[string]any{"runs": s.Runs()})
 	})
 	route("GET /v1/runs/{id}", "status", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.RunStatus(r.PathValue("id"))
@@ -520,7 +669,7 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		s.writeJSON(w, http.StatusOK, st)
 	})
 	route("POST /v1/runs/{id}/cancel", "cancel", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Cancel(r.PathValue("id"))
@@ -528,7 +677,7 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		s.writeJSON(w, http.StatusOK, st)
 	})
 	route("GET /v1/runs/{id}/artifacts/{name}", "artifact", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
@@ -547,6 +696,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.fleetRoutes(route)
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	mux.Handle("GET /metrics.json", obs.JSONHandler(s.reg))
 	return mux

@@ -3,7 +3,7 @@ package server
 import (
 	"context"
 	"errors"
-	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"sync"
@@ -54,7 +54,7 @@ func (s *Single) Start(addr string) (string, error) {
 	s.srv = &http.Server{Handler: s.mux}
 	go func() {
 		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Printf("server: single: %v\n", err)
+			log.Printf("server: single: %v", err)
 		}
 	}()
 	return ln.Addr().String(), nil
