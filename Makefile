@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos chaos-restart bench bench-sim loadtest loadtest-fleet examples
+.PHONY: build test vet race verify chaos chaos-restart bench bench-sim loadtest loadtest-fleet loadtest-stream examples
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,19 @@ loadtest-fleet:
 	$(GO) run -race ./cmd/dyflow-serve loadtest \
 		-clients 8 -tenants 4 -per-client 8 -seeds 6 -tenant-quota -1 \
 		-fleet 3 -worker-slots 1 -lease-ttl 400ms -kill-worker \
+		-out BENCH_serve.json
+
+# The fleet closed loop observed live (docs/SERVICE.md, "Watching a run
+# live"): clients tail each run's SSE event stream instead of polling
+# status, so the run counts as done only when its terminal event arrives.
+# Exercises the whole observability plane — per-run event journals, SSE
+# delivery, worker span forwarding — under the race detector. Overwrites
+# BENCH_serve.json with the streaming result (streamed_runs /
+# events_received / stream_latency_* record the provenance).
+loadtest-stream:
+	$(GO) run -race ./cmd/dyflow-serve loadtest \
+		-clients 8 -tenants 4 -per-client 8 -seeds 6 -tenant-quota -1 \
+		-fleet 2 -worker-slots 2 -stream \
 		-out BENCH_serve.json
 
 # Build every example and run the quickstart end-to-end (CI smoke).

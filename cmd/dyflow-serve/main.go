@@ -6,7 +6,7 @@
 //	dyflow-serve worker -join host:port [-name S] [-slots N]
 //	dyflow-serve loadtest [-addr host:port] [-clients N] [-per-client N]
 //	             [-seeds N] [-scenario S] [-out BENCH_serve.json]
-//	             [-fleet N] [-worker-slots N] [-kill-worker] ...
+//	             [-fleet N] [-worker-slots N] [-kill-worker] [-stream] ...
 //
 // The service accepts campaign submissions over HTTP (POST /v1/runs),
 // executes them on a sharded worker pool of deterministic simulations, and
@@ -77,6 +77,7 @@ func serve(args []string) error {
 	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight run cap (0 = 8, negative = unlimited)")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory: persist the queue and completed runs across restarts")
 	leaseTTL := fs.Duration("lease-ttl", 0, "fleet lease TTL before an unheartbeated run is requeued (0 = 10s)")
+	eventBuffer := fs.Int("event-buffer", 0, "per-run event ring size for GET /v1/runs/{id}/events (0 = 256)")
 	fs.Parse(args)
 
 	srv, err := server.New(server.Config{
@@ -85,6 +86,7 @@ func serve(args []string) error {
 		TenantQuota: *tenantQuota,
 		CkptDir:     *ckptDir,
 		LeaseTTL:    *leaseTTL,
+		EventBuffer: *eventBuffer,
 	})
 	if err != nil {
 		return err
@@ -152,6 +154,7 @@ func loadtest(args []string) error {
 	fleetN := fs.Int("fleet", 0, "spawn this many in-process fleet workers (embedded server runs with no local pool)")
 	workerSlots := fs.Int("worker-slots", 0, "concurrent runs per fleet worker (0 = 1)")
 	killWorker := fs.Bool("kill-worker", false, "hard-kill one fleet worker mid-lease (chaos drill)")
+	stream := fs.Bool("stream", false, "tail each run's SSE event stream instead of polling status")
 	out := fs.String("out", "", "write the result JSON here (default stdout only)")
 	fs.Parse(args)
 
@@ -191,6 +194,7 @@ func loadtest(args []string) error {
 		FleetWorkers: *fleetN,
 		WorkerSlots:  *workerSlots,
 		KillWorker:   *killWorker,
+		Stream:       *stream,
 	})
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -206,6 +210,10 @@ func loadtest(args []string) error {
 		if res.Mode == "fleet" {
 			fmt.Printf("loadtest: fleet of %d workers (killed: %v): %.0f claims, %.0f lease expiries, %.0f stale results\n",
 				res.FleetWorkers, res.WorkerKilled, res.FleetClaims, res.LeaseExpiries, res.StaleResults)
+		}
+		if res.StreamedRuns > 0 {
+			fmt.Printf("loadtest: streamed %d runs over SSE: %d events, terminal-event p50 %.3fs p90 %.3fs max %.3fs\n",
+				res.StreamedRuns, res.EventsReceived, res.StreamP50, res.StreamP90, res.StreamMax)
 		}
 		if *out != "" {
 			data, merr := json.MarshalIndent(res, "", "  ")

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotWithLabel(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dyflow_worker_claims_total", "Claims.").With().Add(3)
+	reg.Counter("dyflow_worker_runs_total", "Runs.", "outcome").With("done").Add(2)
+
+	snap := reg.Snapshot().WithLabel("worker", "w-7")
+	for _, m := range snap.Metrics {
+		for _, s := range m.Series {
+			if s.Labels["worker"] != "w-7" {
+				t.Fatalf("%s series missing worker label: %v", m.Name, s.Labels)
+			}
+		}
+	}
+	// The source snapshot must be untouched (WithLabel copies).
+	for _, m := range reg.Snapshot().Metrics {
+		for _, s := range m.Series {
+			if _, ok := s.Labels["worker"]; ok {
+				t.Fatalf("WithLabel mutated the source: %v", s.Labels)
+			}
+		}
+	}
+}
+
+func TestMergeSnapshotsAndRender(t *testing.T) {
+	coord := NewRegistry()
+	coord.Counter("dyflow_server_submissions_total", "Subs.", "tenant").With("a").Inc()
+
+	w1, w2 := NewRegistry(), NewRegistry()
+	w1.Counter("dyflow_worker_claims_total", "Claims.").With().Add(5)
+	w1.Histogram("dyflow_worker_run_seconds", "Run time.", nil).With().Observe(0.2)
+	w2.Counter("dyflow_worker_claims_total", "Claims.").With().Add(7)
+
+	merged := MergeSnapshots(
+		coord.Snapshot(),
+		w1.Snapshot().WithLabel("worker", "w1"),
+		w2.Snapshot().WithLabel("worker", "w2"),
+	)
+
+	// Same-name families from both workers fold into one with two series.
+	var claims *MetricSnapshot
+	for i := range merged.Metrics {
+		if merged.Metrics[i].Name == "dyflow_worker_claims_total" {
+			claims = &merged.Metrics[i]
+		}
+	}
+	if claims == nil || len(claims.Series) != 2 {
+		t.Fatalf("merged claims family = %+v", claims)
+	}
+
+	var b strings.Builder
+	if err := merged.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`dyflow_worker_claims_total{worker="w1"} 5`,
+		`dyflow_worker_claims_total{worker="w2"} 7`,
+		`dyflow_server_submissions_total{tenant="a"} 1`,
+		`dyflow_worker_run_seconds_count{worker="w1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Families must come out sorted by name for deterministic scrapes.
+	if i1 := strings.Index(text, "dyflow_server_"); i1 > strings.Index(text, "dyflow_worker_claims") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+}
+
+func TestRegistryPrometheusDelegatesToSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("dyflow_server_active_runs", "Active.").With().Set(4)
+	var a, b strings.Builder
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("registry and snapshot renderings differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

@@ -503,7 +503,64 @@ func (r *Registry) Value(name string) (float64, bool) {
 // format (version 0.0.4): HELP/TYPE headers, one line per series,
 // histogram series expanded into cumulative _bucket/_sum/_count lines.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	snap := r.snapshot()
+	return r.snapshot().WritePrometheus(w)
+}
+
+// WithLabel returns a copy of the snapshot with an extra label on every
+// series. The fleet coordinator uses it to tag a worker's pushed snapshot
+// with `worker="<id>"` before merging it into the fleet-wide exposition.
+// An existing label with the same key is overwritten.
+func (snap Snapshot) WithLabel(key, value string) Snapshot {
+	out := Snapshot{Metrics: make([]MetricSnapshot, len(snap.Metrics))}
+	for i, m := range snap.Metrics {
+		fm := m
+		fm.Series = make([]SeriesSnapshot, len(m.Series))
+		for j, s := range m.Series {
+			fs := s
+			fs.Labels = make(map[string]string, len(s.Labels)+1)
+			for k, v := range s.Labels {
+				fs.Labels[k] = v
+			}
+			fs.Labels[key] = value
+			fm.Series[j] = fs
+		}
+		out.Metrics[i] = fm
+	}
+	return out
+}
+
+// MergeSnapshots combines snapshots into one: families are matched by
+// name (type/help from the first appearance) and their series
+// concatenated. Callers are expected to disambiguate colliding series
+// with WithLabel first; no values are summed. The result keeps families
+// sorted by name, so merging sorted inputs stays byte-deterministic.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	byName := make(map[string]*MetricSnapshot)
+	var names []string
+	for _, snap := range snaps {
+		for _, m := range snap.Metrics {
+			f, ok := byName[m.Name]
+			if !ok {
+				cp := MetricSnapshot{Name: m.Name, Type: m.Type, Help: m.Help}
+				byName[m.Name] = &cp
+				f = &cp
+				names = append(names, m.Name)
+			}
+			f.Series = append(f.Series, m.Series...)
+		}
+	}
+	sort.Strings(names)
+	out := Snapshot{Metrics: make([]MetricSnapshot, 0, len(names))}
+	for _, n := range names {
+		out.Metrics = append(out.Metrics, *byName[n])
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format — the same rendering Registry.WritePrometheus delegates to, so a
+// merged fleet snapshot and a live registry expose identically.
+func (snap Snapshot) WritePrometheus(w io.Writer) error {
 	for _, m := range snap.Metrics {
 		if m.Help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {

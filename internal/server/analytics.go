@@ -1,0 +1,185 @@
+package server
+
+import (
+	"math"
+	"sort"
+)
+
+// GET /v1/analytics — cross-campaign aggregates computed over the run
+// table: per-tenant and per-scenario counts and outcomes, queue-wait
+// vs execution latency percentiles from the per-run phase timestamps,
+// cache hit rates, and the lease-expiry/requeue counters. This is the
+// first increment of the ROADMAP run-history item: the table is still
+// the in-memory one (plus the WAL), but the query side exists.
+
+// LatencySummary is a nearest-rank percentile summary over a sample
+// set, in seconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_s"`
+	P50   float64 `json:"p50_s"`
+	P90   float64 `json:"p90_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+// GroupAnalytics aggregates one tenant's or one scenario's runs.
+type GroupAnalytics struct {
+	Name      string           `json:"name"`
+	Runs      int              `json:"runs"`
+	ByState   map[RunState]int `json:"by_state"`
+	CacheHits int              `json:"cache_hits"`
+	QueueWait LatencySummary   `json:"queue_wait"`
+	Execution LatencySummary   `json:"execution"`
+}
+
+// Analytics is the GET /v1/analytics payload.
+type Analytics struct {
+	Runs      int              `json:"runs"`
+	ByState   map[RunState]int `json:"by_state"`
+	CacheHits int              `json:"cache_hits"`
+	// CacheHitRate is cache hits over total runs (0 when no runs).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// QueueWait summarizes ClaimedAt−QueuedAt over runs a worker
+	// claimed; Execution summarizes FinishedAt−StartedAt over runs that
+	// finished executing (cached answers never execute and are excluded
+	// from both).
+	QueueWait LatencySummary `json:"queue_wait"`
+	Execution LatencySummary `json:"execution"`
+
+	// LeaseExpiries and RestoreRequeues surface the requeue-rate
+	// counters (dyflow_server_fleet_lease_expiries_total,
+	// dyflow_server_restore_requeued_total).
+	LeaseExpiries   int64 `json:"lease_expiries"`
+	RestoreRequeues int64 `json:"restore_requeues"`
+
+	Tenants   []GroupAnalytics `json:"tenants"`
+	Scenarios []GroupAnalytics `json:"scenarios"`
+}
+
+// Analytics computes the cross-campaign aggregate view.
+func (s *Server) Analytics() Analytics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	a := Analytics{ByState: map[RunState]int{}}
+	var queueWaits, execTimes []float64
+	tenants := map[string]*groupAcc{}
+	scenarios := map[string]*groupAcc{}
+
+	accumulate := func(m map[string]*groupAcc, key string, r *Run, qw, ex float64) {
+		g := m[key]
+		if g == nil {
+			g = &groupAcc{byState: map[RunState]int{}}
+			m[key] = g
+		}
+		g.runs++
+		g.byState[r.State]++
+		if r.Cached {
+			g.cacheHits++
+		}
+		if qw >= 0 {
+			g.queueWaits = append(g.queueWaits, qw)
+		}
+		if ex >= 0 {
+			g.execTimes = append(g.execTimes, ex)
+		}
+	}
+
+	for _, id := range s.order {
+		r := s.runs[id]
+		a.Runs++
+		a.ByState[r.State]++
+		if r.Cached {
+			a.CacheHits++
+		}
+		var qw, ex float64 = -1, -1
+		if !r.ClaimedAt.IsZero() && !r.QueuedAt.IsZero() {
+			qw = r.ClaimedAt.Sub(r.QueuedAt).Seconds()
+			queueWaits = append(queueWaits, qw)
+		}
+		if !r.FinishedAt.IsZero() && !r.StartedAt.IsZero() {
+			ex = r.FinishedAt.Sub(r.StartedAt).Seconds()
+			execTimes = append(execTimes, ex)
+		}
+		accumulate(tenants, r.Tenant, r, qw, ex)
+		accumulate(scenarios, r.Job.Scenario, r, qw, ex)
+	}
+
+	if a.Runs > 0 {
+		a.CacheHitRate = float64(a.CacheHits) / float64(a.Runs)
+	}
+	a.QueueWait = summarize(queueWaits)
+	a.Execution = summarize(execTimes)
+	if v, ok := s.reg.Value("dyflow_server_fleet_lease_expiries_total"); ok {
+		a.LeaseExpiries = int64(v)
+	}
+	if v, ok := s.reg.Value("dyflow_server_restore_requeued_total"); ok {
+		a.RestoreRequeues = int64(v)
+	}
+	a.Tenants = renderGroups(tenants)
+	a.Scenarios = renderGroups(scenarios)
+	return a
+}
+
+type groupAcc struct {
+	runs       int
+	byState    map[RunState]int
+	cacheHits  int
+	queueWaits []float64
+	execTimes  []float64
+}
+
+func renderGroups(groups map[string]*groupAcc) []GroupAnalytics {
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]GroupAnalytics, 0, len(names))
+	for _, n := range names {
+		g := groups[n]
+		out = append(out, GroupAnalytics{
+			Name:      n,
+			Runs:      g.runs,
+			ByState:   g.byState,
+			CacheHits: g.cacheHits,
+			QueueWait: summarize(g.queueWaits),
+			Execution: summarize(g.execTimes),
+		})
+	}
+	return out
+}
+
+// summarize computes a nearest-rank percentile summary; samples are
+// sorted in place.
+func summarize(samples []float64) LatencySummary {
+	n := len(samples)
+	if n == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return samples[i]
+	}
+	return LatencySummary{
+		Count: n,
+		Mean:  sum / float64(n),
+		P50:   rank(0.50),
+		P90:   rank(0.90),
+		P99:   rank(0.99),
+		Max:   samples[n-1],
+	}
+}

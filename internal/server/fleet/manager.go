@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ type Manager struct {
 	mu        sync.Mutex
 	workers   map[string]*WorkerInfo
 	leases    map[string]*Lease // run ID → current lease
+	metrics   map[string]obs.Snapshot
 	nextW     int
 	nextLease int
 	closed    bool
@@ -38,14 +40,22 @@ type Manager struct {
 	stale        *obs.Counter // dyflow_server_fleet_stale_results_total
 }
 
-// WorkerInfo is one registered worker.
+// WorkerInfo is one registered worker. Claims/Completed/Failed/Canceled
+// are per-worker lifetime outcome counters; LastSeenAgeMs is computed at
+// snapshot time (Workers) so the fleet view carries liveness directly
+// instead of making every consumer diff wall clocks.
 type WorkerInfo struct {
-	ID           string    `json:"id"`
-	Name         string    `json:"name"`
-	Slots        int       `json:"slots"`
-	RegisteredAt time.Time `json:"registered_at"`
-	LastSeen     time.Time `json:"last_seen"`
-	Active       int       `json:"active"` // leases currently held
+	ID            string    `json:"id"`
+	Name          string    `json:"name"`
+	Slots         int       `json:"slots"`
+	RegisteredAt  time.Time `json:"registered_at"`
+	LastSeen      time.Time `json:"last_seen"`
+	LastSeenAgeMs int64     `json:"last_seen_age_ms"`
+	Active        int       `json:"active"` // leases currently held
+	Claims        int64     `json:"claims"`
+	Completed     int64     `json:"completed"`
+	Failed        int64     `json:"failed"`
+	Canceled      int64     `json:"canceled"`
 }
 
 // Lease is one worker's claim on one run.
@@ -72,6 +82,7 @@ func NewManager(reg *obs.Registry, ttl time.Duration, onExpire func(runID, worke
 		onExpire: onExpire,
 		workers:  map[string]*WorkerInfo{},
 		leases:   map[string]*Lease{},
+		metrics:  map[string]obs.Snapshot{},
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		workersGauge: reg.Gauge("dyflow_server_fleet_workers",
@@ -160,6 +171,7 @@ func (m *Manager) Grant(workerID, runID string) (leaseID string, err error) {
 	m.nextLease++
 	m.leases[runID] = &Lease{ID: leaseID, RunID: runID, WorkerID: workerID, Expires: time.Now().Add(m.ttl)}
 	w.Active++
+	w.Claims++
 	w.LastSeen = time.Now()
 	m.claims.Inc()
 	return leaseID, nil
@@ -237,14 +249,74 @@ func (m *Manager) LeasedRuns() []string {
 	return out
 }
 
-// Workers snapshots the registered workers (the GET /v1/fleet view).
+// Touch marks a worker alive without any lease activity — empty-queue
+// claim polls still prove liveness.
+func (m *Manager) Touch(workerID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w := m.workers[workerID]; w != nil {
+		w.LastSeen = time.Now()
+	}
+}
+
+// NoteOutcome records one finished run against the worker that uploaded
+// it: outcome is "done", "failed", or "canceled".
+func (m *Manager) NoteOutcome(workerID, outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[workerID]
+	if w == nil {
+		return
+	}
+	switch outcome {
+	case "failed":
+		w.Failed++
+	case "canceled":
+		w.Canceled++
+	default:
+		w.Completed++
+	}
+}
+
+// SetWorkerMetrics stores a worker's pushed registry snapshot, replacing
+// the previous push. It reports false for unknown workers (the push is
+// dropped rather than resurrecting a deregistered ID).
+func (m *Manager) SetWorkerMetrics(workerID string, snap obs.Snapshot) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.workers[workerID] == nil {
+		return false
+	}
+	m.metrics[workerID] = snap
+	m.workers[workerID].LastSeen = time.Now()
+	return true
+}
+
+// MetricsSnapshots returns each worker's last pushed snapshot, keyed by
+// worker ID.
+func (m *Manager) MetricsSnapshots() map[string]obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]obs.Snapshot, len(m.metrics))
+	for id, snap := range m.metrics {
+		out[id] = snap
+	}
+	return out
+}
+
+// Workers snapshots the registered workers (the GET /v1/fleet view),
+// sorted by ID, with heartbeat age stamped.
 func (m *Manager) Workers() []WorkerInfo {
+	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]WorkerInfo, 0, len(m.workers))
 	for _, w := range m.workers {
-		out = append(out, *w)
+		info := *w
+		info.LastSeenAgeMs = now.Sub(w.LastSeen).Milliseconds()
+		out = append(out, info)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -1,6 +1,10 @@
 package fleet
 
-import "dyflow/internal/exp"
+import (
+	"dyflow/internal/exp"
+	"dyflow/internal/obs"
+	"dyflow/internal/trace"
+)
 
 // The worker API wire types, shared by the coordinator's handlers
 // (internal/server) and the Worker client below:
@@ -41,10 +45,15 @@ type ClaimResponse struct {
 }
 
 // HeartbeatRequest renews a lease and reports simulated-time progress.
+// Spans carries flight-recorder suggestion spans that completed since
+// the last heartbeat; the coordinator republishes them into the run's
+// live event stream. Forwarding is best-effort — a lost heartbeat loses
+// its batch, never the run.
 type HeartbeatRequest struct {
-	RunID   string `json:"run_id"`
-	LeaseID string `json:"lease_id"`
-	SimNs   int64  `json:"sim_ns"`
+	RunID   string       `json:"run_id"`
+	LeaseID string       `json:"lease_id"`
+	SimNs   int64        `json:"sim_ns"`
+	Spans   []trace.Span `json:"spans,omitempty"`
 }
 
 // HeartbeatResponse tells the worker whether to keep going: a stale lease
@@ -65,6 +74,9 @@ type ResultRequest struct {
 	Converged bool              `json:"converged,omitempty"`
 	SimEndNs  int64             `json:"sim_end_ns,omitempty"`
 	Artifacts map[string]string `json:"artifacts,omitempty"`
+	// Spans carries whatever flight-recorder spans had not yet been
+	// drained by a heartbeat when the run finished.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // ResultResponse acknowledges an upload. Accepted=false means the lease
@@ -79,4 +91,12 @@ type View struct {
 	LeaseTTLMs int64        `json:"lease_ttl_ms"`
 	Workers    []WorkerInfo `json:"workers"`
 	Leases     int          `json:"leases"`
+}
+
+// MetricsView is the GET /v1/fleet/metrics snapshot: each registered
+// worker's last pushed registry snapshot, plus the merged view the
+// coordinator folds into /metrics (worker-labeled).
+type MetricsView struct {
+	Workers map[string]obs.Snapshot `json:"workers"`
+	Merged  obs.Snapshot            `json:"merged"`
 }

@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"dyflow/internal/exp"
+	"dyflow/internal/obs"
 	"dyflow/internal/sim"
+	"dyflow/internal/trace"
 )
 
 // The sentinel errors a worker's progress hook aborts a run with.
@@ -40,6 +42,13 @@ type WorkerOptions struct {
 	// OnClaim, when set (tests, chaos), is called with each claimed run ID
 	// before execution starts — it can block to hold the lease mid-claim.
 	OnClaim func(runID string)
+	// Metrics is the worker's registry; a fresh one is created when nil.
+	// The worker registers its dyflow_worker_* families here and pushes
+	// snapshots to the coordinator on MetricsEvery cadence.
+	Metrics *obs.Registry
+	// MetricsEvery is the push cadence for registry snapshots. 0 means
+	// the heartbeat cadence.
+	MetricsEvery time.Duration
 }
 
 // Worker is one fleet member: it registers with the coordinator, then
@@ -63,6 +72,16 @@ type Worker struct {
 
 	claimed   atomic.Int64
 	completed atomic.Int64
+
+	reg      *obs.Registry
+	pushDone chan struct{}
+
+	metClaims    *obs.Counter    // dyflow_worker_claims_total
+	metRuns      *obs.CounterVec // dyflow_worker_runs_total{outcome}
+	metRunSec    *obs.Histogram  // dyflow_worker_run_seconds
+	metActive    *obs.Gauge      // dyflow_worker_active_runs
+	metHB        *obs.Counter    // dyflow_worker_heartbeats_total
+	metArtifacts *obs.Counter    // dyflow_worker_artifact_bytes_total
 }
 
 // JoinFleet registers a worker with the coordinator and starts its slot
@@ -78,7 +97,24 @@ func JoinFleet(o WorkerOptions) (*Worker, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	w := &Worker{o: o, base: "http://" + o.Coordinator, client: client}
+	mreg := o.Metrics
+	if mreg == nil {
+		mreg = obs.NewRegistry()
+	}
+	w := &Worker{o: o, base: "http://" + o.Coordinator, client: client,
+		reg: mreg, pushDone: make(chan struct{})}
+	w.metClaims = mreg.Counter("dyflow_worker_claims_total",
+		"Runs this worker claimed from the coordinator.").With()
+	w.metRuns = mreg.Counter("dyflow_worker_runs_total",
+		"Runs this worker finished, by outcome.", "outcome")
+	w.metRunSec = mreg.Histogram("dyflow_worker_run_seconds",
+		"Wall-clock execution time of runs on this worker.", nil).With()
+	w.metActive = mreg.Gauge("dyflow_worker_active_runs",
+		"Runs currently executing on this worker.").With()
+	w.metHB = mreg.Counter("dyflow_worker_heartbeats_total",
+		"Lease heartbeats this worker sent successfully.").With()
+	w.metArtifacts = mreg.Counter("dyflow_worker_artifact_bytes_total",
+		"Artifact bytes this worker uploaded to the blob store.").With()
 	w.ctx, w.cancel = context.WithCancel(context.Background())
 	w.claiming.Store(true)
 
@@ -100,21 +136,31 @@ func JoinFleet(o WorkerOptions) (*Worker, error) {
 		w.wg.Add(1)
 		go w.slot()
 	}
+	every := o.MetricsEvery
+	if every <= 0 {
+		every = w.hbEach
+	}
+	go w.metricsLoop(every)
 	return w, nil
 }
 
 // ID returns the coordinator-assigned worker ID.
 func (w *Worker) ID() string { return w.id }
 
+// Registry returns the worker's metrics registry.
+func (w *Worker) Registry() *obs.Registry { return w.reg }
+
 // Completed returns how many runs this worker finished and uploaded.
 func (w *Worker) Completed() int64 { return w.completed.Load() }
 
 // Stop drains the worker: no new claims, in-flight runs finish and
-// upload, then the slot loops exit.
+// upload, a final metrics snapshot is pushed, then the loops exit.
 func (w *Worker) Stop() {
 	w.claiming.Store(false)
 	w.wg.Wait()
+	w.pushMetrics()
 	w.cancel()
+	<-w.pushDone
 }
 
 // Kill abandons the worker mid-lease, the chaos path: in-flight runs
@@ -127,6 +173,32 @@ func (w *Worker) Kill() {
 	w.claiming.Store(false)
 	w.cancel()
 	w.wg.Wait()
+	<-w.pushDone
+}
+
+// metricsLoop pushes the worker's registry snapshot to the coordinator
+// on a fixed cadence. Push failures are tolerated silently: metrics are
+// observability, not correctness, and the coordinator keeps serving the
+// last snapshot it saw.
+func (w *Worker) metricsLoop(every time.Duration) {
+	defer close(w.pushDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-t.C:
+			w.pushMetrics()
+		}
+	}
+}
+
+func (w *Worker) pushMetrics() {
+	if w.killed.Load() {
+		return // crashed workers push nothing
+	}
+	_ = w.post("/v1/workers/"+w.id+"/metrics", w.reg.Snapshot(), nil)
 }
 
 // slot is one claim-execute-upload loop.
@@ -152,6 +224,7 @@ func (w *Worker) slot() {
 			continue // empty queue after the long-poll window
 		}
 		w.claimed.Add(1)
+		w.metClaims.Inc()
 		if w.o.OnClaim != nil {
 			w.o.OnClaim(claim.RunID)
 		}
@@ -178,12 +251,44 @@ func (w *Worker) claim() (ClaimResponse, bool, error) {
 }
 
 // execute runs one claimed job, heartbeating on wall-clock cadence, then
-// uploads artifacts and reports the outcome.
+// uploads artifacts and reports the outcome. Flight-recorder spans that
+// complete during execution accumulate locally and are drained into
+// heartbeats (the coordinator republishes them on the run's live event
+// stream); whatever remains undrained rides along with the result.
 func (w *Worker) execute(claim ClaimResponse) {
 	ttl := time.Duration(claim.LeaseTTLMs) * time.Millisecond
 	lastTry := time.Now() // last heartbeat attempt
 	lastOK := lastTry     // last heartbeat the coordinator accepted
+	w.metActive.Add(1)
+	defer w.metActive.Add(-1)
+	started := time.Now()
+
+	var spanMu sync.Mutex
+	var spans []trace.Span
+	takeSpans := func() []trace.Span {
+		spanMu.Lock()
+		defer spanMu.Unlock()
+		out := spans
+		spans = nil
+		return out
+	}
+	returnSpans := func(sp []trace.Span) {
+		if len(sp) == 0 {
+			return
+		}
+		spanMu.Lock()
+		spans = append(sp, spans...)
+		spanMu.Unlock()
+	}
+
 	out, err := exp.RunJob(claim.Job, func(world *exp.World) error {
+		if world.Orch != nil {
+			world.Orch.Trace.SetOnComplete(func(sp trace.Span) {
+				spanMu.Lock()
+				spans = append(spans, sp)
+				spanMu.Unlock()
+			})
+		}
 		world.OnProgress = func(now sim.Time) error {
 			if w.killed.Load() {
 				return errWorkerKilled
@@ -192,9 +297,12 @@ func (w *Worker) execute(claim ClaimResponse) {
 				return nil
 			}
 			lastTry = time.Now()
+			batch := takeSpans()
 			var hb HeartbeatResponse
 			if err := w.post("/v1/workers/"+w.id+"/heartbeat",
-				HeartbeatRequest{RunID: claim.RunID, LeaseID: claim.LeaseID, SimNs: int64(now)}, &hb); err != nil {
+				HeartbeatRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
+					SimNs: int64(now), Spans: batch}, &hb); err != nil {
+				returnSpans(batch) // retry the batch with the next heartbeat
 				// Lost heartbeats are survivable inside the TTL; give up
 				// only once the lease must have lapsed at the coordinator.
 				if time.Since(lastOK) > ttl {
@@ -202,6 +310,7 @@ func (w *Worker) execute(claim ClaimResponse) {
 				}
 				return nil
 			}
+			w.metHB.Inc()
 			lastOK = time.Now()
 			switch {
 			case !hb.Valid:
@@ -213,6 +322,7 @@ func (w *Worker) execute(claim ClaimResponse) {
 		}
 		return nil
 	})
+	w.metRunSec.Observe(time.Since(started).Seconds())
 
 	switch {
 	case w.killed.Load():
@@ -221,9 +331,10 @@ func (w *Worker) execute(claim ClaimResponse) {
 		return // the run was requeued under us; our result would be stale
 	case errors.Is(err, errCancelled):
 		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
-			Canceled: true, Error: errCancelled.Error()})
+			Canceled: true, Error: errCancelled.Error(), Spans: takeSpans()})
 	case err != nil:
-		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID, Error: err.Error()})
+		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
+			Error: err.Error(), Spans: takeSpans()})
 	default:
 		refs, uerr := w.uploadArtifacts(out.Artifacts)
 		if uerr != nil {
@@ -235,7 +346,8 @@ func (w *Worker) execute(claim ClaimResponse) {
 			return
 		}
 		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
-			Converged: out.Converged, SimEndNs: int64(out.SimEnd), Artifacts: refs})
+			Converged: out.Converged, SimEndNs: int64(out.SimEnd),
+			Artifacts: refs, Spans: takeSpans()})
 	}
 }
 
@@ -253,6 +365,7 @@ func (w *Worker) uploadArtifacts(artifacts map[string][]byte) (map[string]string
 		if err := w.putBlob(digest, data); err != nil {
 			return nil, err
 		}
+		w.metArtifacts.Add(int64(len(data)))
 	}
 	return refs, nil
 }
@@ -291,6 +404,14 @@ func (w *Worker) putBlob(digest string, data []byte) error {
 // report posts the result; a rejected (stale) upload is dropped silently —
 // the coordinator has already moved on.
 func (w *Worker) report(res ResultRequest) {
+	switch {
+	case res.Canceled:
+		w.metRuns.With("canceled").Inc()
+	case res.Error != "":
+		w.metRuns.With("failed").Inc()
+	default:
+		w.metRuns.With("done").Inc()
+	}
 	var resp ResultResponse
 	if err := w.post("/v1/workers/"+w.id+"/result", res, &resp); err != nil {
 		return // coordinator gone or lease raced; expiry handles the run

@@ -7,6 +7,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -14,12 +15,14 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dyflow/internal/exp"
 	"dyflow/internal/obs"
 	"dyflow/internal/server"
+	"dyflow/internal/server/events"
 	"dyflow/internal/server/fleet"
 )
 
@@ -61,6 +64,15 @@ type Options struct {
 	// chaos drill: its run must come back via lease expiry and finish on a
 	// surviving worker, visible as lease_expiries >= 1 in the result.
 	KillWorker bool
+
+	// Stream switches clients from status polling to tailing each run's
+	// SSE event stream (GET /v1/runs/{id}/events): a client considers the
+	// run finished when the terminal event arrives, so the measured loop
+	// exercises the live observability plane end to end. Cached runs are
+	// tailed too — their stream is pure replay ending in the terminal
+	// event. The result records events received and submit→terminal-event
+	// latency percentiles.
+	Stream bool
 }
 
 // Result is the aggregate outcome of a load run, JSON-shaped for
@@ -81,6 +93,14 @@ type Result struct {
 	LatencyP99 float64 `json:"latency_p99_s"`
 	LatencyMax float64 `json:"latency_max_s"`
 
+	// Streaming-mode fields: runs observed via SSE tail, events received
+	// across all streams, and submit → terminal-event latency.
+	StreamedRuns   int     `json:"streamed_runs,omitempty"`
+	EventsReceived int64   `json:"events_received,omitempty"`
+	StreamP50      float64 `json:"stream_latency_p50_s,omitempty"`
+	StreamP90      float64 `json:"stream_latency_p90_s,omitempty"`
+	StreamMax      float64 `json:"stream_latency_max_s,omitempty"`
+
 	// Fleet-mode fields, scraped from the coordinator's /metrics.json.
 	Mode          string  `json:"mode"`
 	FleetWorkers  int     `json:"fleet_workers,omitempty"`
@@ -94,14 +114,18 @@ type Result struct {
 type gen struct {
 	o      Options
 	client *http.Client
-	base   string
+	// streamer has no timeout: an SSE tail legitimately stays open for
+	// the run's whole lifetime.
+	streamer *http.Client
+	base     string
 
 	completed, cached, rejected, errors *obs.Counter
 	latency                             *obs.Histogram
 
-	mu        sync.Mutex
-	res       *Result
-	latencies []float64
+	mu         sync.Mutex
+	res        *Result
+	latencies  []float64
+	streamLats []float64
 }
 
 // Run drives the load and blocks until every job reaches a verdict.
@@ -119,10 +143,11 @@ func Run(o Options) (*Result, error) {
 		o.PollEvery = 5 * time.Millisecond
 	}
 	g := &gen{
-		o:      o,
-		client: &http.Client{Timeout: 30 * time.Second},
-		base:   "http://" + o.Addr,
-		res:    &Result{Clients: o.Clients, Jobs: o.Clients * o.PerClient},
+		o:        o,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		streamer: &http.Client{},
+		base:     "http://" + o.Addr,
+		res:      &Result{Clients: o.Clients, Jobs: o.Clients * o.PerClient},
 	}
 	if o.Metrics != nil {
 		g.completed = o.Metrics.Counter("dyflow_loadgen_completions_total",
@@ -172,6 +197,12 @@ func Run(o Options) (*Result, error) {
 	res.LatencyP99 = quantile(g.latencies, 0.99)
 	if n := len(g.latencies); n > 0 {
 		res.LatencyMax = g.latencies[n-1]
+	}
+	sort.Float64s(g.streamLats)
+	res.StreamP50 = quantile(g.streamLats, 0.50)
+	res.StreamP90 = quantile(g.streamLats, 0.90)
+	if n := len(g.streamLats); n > 0 {
+		res.StreamMax = g.streamLats[n-1]
 	}
 	if stopFleet != nil {
 		stopFleet()
@@ -308,6 +339,21 @@ func (g *gen) driveJob(tenant string, seed int64) error {
 		return err
 	}
 	submitted := time.Now()
+	if g.o.Stream {
+		n, err := g.tailRun(st.ID)
+		if err != nil {
+			return err
+		}
+		streamLat := time.Since(submitted).Seconds()
+		g.mu.Lock()
+		g.res.StreamedRuns++
+		g.res.EventsReceived += int64(n)
+		g.streamLats = append(g.streamLats, streamLat)
+		g.mu.Unlock()
+		if st, err = g.status(st.ID); err != nil {
+			return err
+		}
+	}
 	for !st.State.Terminal() {
 		time.Sleep(g.o.PollEvery)
 		if st, err = g.status(st.ID); err != nil {
@@ -378,6 +424,46 @@ func (g *gen) submit(tenant string, seed int64) (server.Status, error) {
 		var st server.Status
 		return st, json.Unmarshal(data, &st)
 	}
+}
+
+// tailRun opens a run's SSE stream and reads frames until the terminal
+// event, returning how many events arrived. The server ends the stream
+// right after the terminal event, so a stream that closes without one is
+// an error.
+func (g *gen) tailRun(id string) (int, error) {
+	resp, err := g.streamer.Get(g.base + "/v1/runs/" + id + "/events")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		data, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("stream %s: %s: %s", id, resp.Status, bytes.TrimSpace(data))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	count := 0
+	var evType string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // frame boundary
+			if evType == "" {
+				continue // comment-only frame (e.g. drop notice)
+			}
+			count++
+			if events.Type(evType).Terminal() {
+				return count, nil
+			}
+			evType = ""
+		case strings.HasPrefix(line, "event: "):
+			evType = strings.TrimPrefix(line, "event: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return count, fmt.Errorf("stream %s: %w", id, err)
+	}
+	return count, fmt.Errorf("stream %s ended after %d events without a terminal event", id, count)
 }
 
 func (g *gen) status(id string) (server.Status, error) {

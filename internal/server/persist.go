@@ -8,6 +8,7 @@ import (
 
 	"dyflow/internal/ckpt"
 	"dyflow/internal/exp"
+	"dyflow/internal/server/events"
 )
 
 // Persistence: the service journals every acknowledged state transition
@@ -50,6 +51,8 @@ type persistedRun struct {
 	SimEndNs     int64             `json:"sim_end_ns,omitempty"`
 	ArtifactRefs map[string]string `json:"artifact_refs,omitempty"`
 	SubmittedAt  time.Time         `json:"submitted_at"`
+	QueuedAt     time.Time         `json:"queued_at,omitempty"`
+	ClaimedAt    time.Time         `json:"claimed_at,omitempty"`
 	StartedAt    time.Time         `json:"started_at,omitempty"`
 	FinishedAt   time.Time         `json:"finished_at,omitempty"`
 }
@@ -72,6 +75,8 @@ func (r *Run) persisted() persistedRun {
 		SimEndNs:     int64(r.SimEnd),
 		ArtifactRefs: r.Artifacts,
 		SubmittedAt:  r.SubmittedAt,
+		QueuedAt:     r.QueuedAt,
+		ClaimedAt:    r.ClaimedAt,
 		StartedAt:    r.StartedAt,
 		FinishedAt:   r.FinishedAt,
 	}
@@ -90,6 +95,8 @@ func (s *Server) applyPersisted(p persistedRun) *Run {
 		SimEnd:      time.Duration(p.SimEndNs),
 		Artifacts:   p.ArtifactRefs,
 		SubmittedAt: p.SubmittedAt,
+		QueuedAt:    p.QueuedAt,
+		ClaimedAt:   p.ClaimedAt,
 		StartedAt:   p.StartedAt,
 		FinishedAt:  p.FinishedAt,
 	}
@@ -253,13 +260,18 @@ func (s *Server) restore(dir string) error {
 	for _, id := range s.order {
 		r := s.runs[id]
 		if r.State.Terminal() {
+			// Re-publish the terminal event into the fresh (empty) journal:
+			// a client reconnecting across the restart with a stale
+			// Last-Event-ID must still receive it.
+			ev := events.Event{Type: terminalEventType(r.State), Reason: "restore",
+				At: r.FinishedAt, Cached: r.Cached, Converged: r.Converged, Error: r.Err}
+			if r.State == StateDone {
+				ev.SimSeconds = r.SimEnd.Seconds()
+			}
+			s.events.Append(id, ev)
 			continue
 		}
-		r.State = StateQueued
-		r.StartedAt = time.Time{}
-		r.Worker = ""
-		r.LeaseID = ""
-		r.simNow.Store(0)
+		s.resetToQueuedLocked(r, "restore")
 		s.inflight[r.Tenant]++
 		s.queue.requeue(r.Shard, id)
 		s.met.requeued.Inc()

@@ -52,11 +52,19 @@ type Run struct {
 	LeaseID string
 
 	SubmittedAt time.Time
-	StartedAt   time.Time
-	FinishedAt  time.Time
+	// QueuedAt is when the run last entered the queue — SubmittedAt for
+	// the first admission, reset on every requeue (lease expiry, restore,
+	// shutdown), so ClaimedAt−QueuedAt is the run's latest queue wait.
+	QueuedAt time.Time
+	// ClaimedAt is when a worker (local slot or fleet) took the run;
+	// zeroed when the run returns to the queue.
+	ClaimedAt  time.Time
+	StartedAt  time.Time
+	FinishedAt time.Time
 
-	simNow atomic.Int64 // virtual ns, live progress while running
-	cancel atomic.Bool  // cooperative-cancel flag read by the progress hook
+	simNow       atomic.Int64 // virtual ns, live progress while running
+	cancel       atomic.Bool  // cooperative-cancel flag read by the progress hook
+	lastProgress atomic.Int64 // wall ns of the last published progress event
 }
 
 // Status is the JSON view of a run served by GET /v1/runs/{id}.
@@ -76,7 +84,15 @@ type Status struct {
 	// coordinator's local pool runs it).
 	Worker string `json:"worker,omitempty"`
 
+	// Phase timestamps: SubmittedAt is admission; QueuedAt the latest
+	// entry into the queue (== SubmittedAt unless the run was requeued);
+	// ClaimedAt when a worker took it; StartedAt when execution began;
+	// FinishedAt the terminal transition. ClaimedAt−QueuedAt is the queue
+	// wait and FinishedAt−StartedAt the execution time that
+	// GET /v1/analytics aggregates.
 	SubmittedAt time.Time  `json:"submitted_at"`
+	QueuedAt    *time.Time `json:"queued_at,omitempty"`
+	ClaimedAt   *time.Time `json:"claimed_at,omitempty"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 
@@ -102,13 +118,19 @@ func (r *Run) status() Status {
 	if r.State == StateDone {
 		st.SimSeconds = r.SimEnd.Seconds()
 	}
-	if !r.StartedAt.IsZero() {
-		t := r.StartedAt
-		st.StartedAt = &t
-	}
-	if !r.FinishedAt.IsZero() {
-		t := r.FinishedAt
-		st.FinishedAt = &t
+	for _, ts := range []struct {
+		at  time.Time
+		dst **time.Time
+	}{
+		{r.QueuedAt, &st.QueuedAt},
+		{r.ClaimedAt, &st.ClaimedAt},
+		{r.StartedAt, &st.StartedAt},
+		{r.FinishedAt, &st.FinishedAt},
+	} {
+		if !ts.at.IsZero() {
+			t := ts.at
+			*ts.dst = &t
+		}
 	}
 	for name := range r.Artifacts {
 		st.Artifacts = append(st.Artifacts, name)

@@ -21,14 +21,22 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"dyflow/internal/exp"
 	"dyflow/internal/obs"
+	"dyflow/internal/server/events"
 	"dyflow/internal/server/fleet"
 	"dyflow/internal/sim"
+	"dyflow/internal/trace"
 )
+
+// progressEventEvery throttles TypeProgress events per run: the
+// progress hook fires every simulated second (microseconds of wall
+// time), far too fast to journal each tick.
+const progressEventEvery = 10 * time.Millisecond
 
 // The sentinel errors a worker's progress hook aborts a run with.
 var (
@@ -57,6 +65,11 @@ type Config struct {
 	// without a heartbeat before the coordinator requeues the run.
 	// 0 means 10s.
 	LeaseTTL time.Duration
+	// EventBuffer bounds each run's event journal ring (the SSE stream's
+	// replay window). 0 means events.DefaultBuffer (256). A slow stream
+	// consumer misses overwritten events — counted, never blocking the
+	// run.
+	EventBuffer int
 	// Logger receives operational messages — journal failures, HTTP serve
 	// errors. Nil means a stderr logger.
 	Logger *log.Logger
@@ -78,7 +91,12 @@ type Server struct {
 	store  journalStore // nil when persistence is off
 	blobs  *fleet.BlobStore
 	fleet  *fleet.Manager
+	events *events.Journal
 	logger *log.Logger
+
+	// stopped closes when shutdown begins, waking SSE streams so they
+	// end instead of pinning http.Server.Shutdown to its deadline.
+	stopped chan struct{}
 
 	mu       sync.Mutex
 	runs     map[string]*Run
@@ -128,6 +146,8 @@ func New(cfg Config) (*Server, error) {
 		met:      met,
 		logger:   logger,
 		queue:    newShardedQueue(shards, cfg.QueueDepth, met.queueDepth),
+		events:   events.NewJournal(cfg.EventBuffer, reg),
+		stopped:  make(chan struct{}),
 		runs:     map[string]*Run{},
 		cache:    map[string]*Run{},
 		inflight: map[string]int{},
@@ -198,7 +218,11 @@ func (s *Server) execute(id string) {
 		return
 	}
 	r.State = StateRunning
-	r.StartedAt = time.Now()
+	now := time.Now()
+	r.ClaimedAt = now
+	r.StartedAt = now
+	s.events.Append(id, events.Event{Type: events.TypeClaimed, Worker: "local"})
+	s.events.Append(id, events.Event{Type: events.TypeRunning, Worker: "local"})
 	hook := s.beforeRun
 	s.mu.Unlock()
 
@@ -210,6 +234,7 @@ func (s *Server) execute(id string) {
 	out, err := exp.RunJob(r.Job, func(w *exp.World) error {
 		w.OnProgress = func(now sim.Time) error {
 			r.simNow.Store(int64(now))
+			s.progressEvent(r, "local", int64(now))
 			if r.cancel.Load() {
 				return errRunCanceled
 			}
@@ -217,6 +242,13 @@ func (s *Server) execute(id string) {
 				return errShuttingDown
 			}
 			return nil
+		}
+		// Forward completed flight-recorder spans into the run's event
+		// stream — the same live view a fleet worker ships via heartbeats.
+		if w.Orch != nil {
+			w.Orch.Trace.SetOnComplete(func(sp trace.Span) {
+				s.events.Append(id, events.Event{Type: events.TypeSpan, Worker: "local", Span: &sp})
+			})
 		}
 		return nil
 	})
@@ -245,9 +277,7 @@ func (s *Server) execute(id string) {
 	case errors.Is(err, errShuttingDown):
 		// Put it back: the shutdown snapshot (or the already-journaled
 		// submission) carries it into the next process as queued.
-		r.State = StateQueued
-		r.StartedAt = time.Time{}
-		r.simNow.Store(0)
+		s.resetToQueuedLocked(r, "shutdown")
 	case errors.Is(err, errRunCanceled):
 		s.finishLocked(r, StateCanceled, err)
 	default:
@@ -278,6 +308,61 @@ func (s *Server) finishLocked(r *Run, state RunState, err error) {
 	// re-executes, which is deterministic — but it IS durability loss;
 	// journal() counts it in dyflow_server_journal_errors_total and logs.
 	s.journal(kind, r.persisted())
+	worker := r.Worker
+	if worker == "" && !r.StartedAt.IsZero() {
+		worker = "local" // local-pool execution; never set on Run.Worker
+	}
+	ev := events.Event{Type: terminalEventType(state), Worker: worker,
+		Cached: r.Cached, Converged: r.Converged, Error: r.Err}
+	if state == StateDone {
+		ev.SimSeconds = r.SimEnd.Seconds()
+	}
+	s.events.Append(r.ID, ev)
+}
+
+// terminalEventType maps a terminal run state to its event type.
+func terminalEventType(state RunState) events.Type {
+	switch state {
+	case StateFailed:
+		return events.TypeFailed
+	case StateCanceled:
+		return events.TypeCanceled
+	default:
+		return events.TypeDone
+	}
+}
+
+// resetToQueuedLocked returns a non-terminal run to the queued state —
+// requeue after a lease expiry, a missing artifact blob, a restore, or
+// shutdown — resetting its claim-phase fields and publishing the queued
+// event with the reason. The caller pushes to the queue (or not:
+// shutdown leaves requeueing to the next process). Caller holds the
+// server mutex.
+func (s *Server) resetToQueuedLocked(r *Run, reason string) {
+	r.State = StateQueued
+	r.QueuedAt = time.Now()
+	r.ClaimedAt = time.Time{}
+	r.StartedAt = time.Time{}
+	r.Worker = ""
+	r.LeaseID = ""
+	r.simNow.Store(0)
+	s.events.Append(r.ID, events.Event{Type: events.TypeQueued, Reason: reason})
+}
+
+// progressEvent publishes a throttled TypeProgress event for a running
+// run. Called from progress hooks (local pool) and heartbeat handlers
+// (fleet) without the server mutex.
+func (s *Server) progressEvent(r *Run, worker string, simNs int64) {
+	now := time.Now().UnixNano()
+	last := r.lastProgress.Load()
+	if now-last < int64(progressEventEvery) || !r.lastProgress.CompareAndSwap(last, now) {
+		return
+	}
+	s.events.Append(r.ID, events.Event{
+		Type:       events.TypeProgress,
+		Worker:     worker,
+		SimSeconds: time.Duration(simNs).Seconds(),
+	})
 }
 
 // finishFromCacheLocked completes a claimed run from the result cache
@@ -294,6 +379,7 @@ func (s *Server) finishFromCacheLocked(r *Run) bool {
 	r.simNow.Store(int64(src.SimEnd))
 	r.Artifacts = src.Artifacts
 	s.met.cacheHits.With(r.Tenant).Inc()
+	s.events.Append(r.ID, events.Event{Type: events.TypeCacheHit, Reason: src.ID})
 	s.finishLocked(r, StateDone, nil)
 	return true
 }
@@ -342,11 +428,8 @@ func (s *Server) onLeaseExpire(runID, workerID string) {
 		return
 	}
 	s.logf("server: lease on %s lapsed at %s; requeued", runID, workerID)
-	r.State = StateQueued
-	r.StartedAt = time.Time{}
-	r.Worker = ""
-	r.LeaseID = ""
-	r.simNow.Store(0)
+	s.events.Append(runID, events.Event{Type: events.TypeLeaseExpired, Worker: workerID})
+	s.resetToQueuedLocked(r, "lease_expired")
 	s.queue.requeue(r.Shard, runID)
 }
 
@@ -354,6 +437,17 @@ func (s *Server) isStopping() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stopping
+}
+
+// markStopping flags shutdown and closes the stopped channel exactly
+// once, releasing any blocked SSE streams.
+func (s *Server) markStopping() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopping {
+		s.stopping = true
+		close(s.stopped)
+	}
 }
 
 // Submit admits one job for a tenant, returning the run's status. The
@@ -378,6 +472,7 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 	if src := s.cache[job.Key()]; src != nil && src.State == StateDone {
 		r := s.newRunLocked(tenant, job)
 		r.State = StateDone
+		r.QueuedAt = time.Time{} // answered from cache; never queued
 		r.Cached = true
 		r.Converged = src.Converged
 		r.SimEnd = src.SimEnd
@@ -390,6 +485,9 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 		if err := s.journal(kindSubmit, r.persisted()); err != nil {
 			return Status{}, s.dropRunLocked(r, err)
 		}
+		s.events.Append(r.ID, events.Event{Type: events.TypeCacheHit, Reason: src.ID})
+		s.events.Append(r.ID, events.Event{Type: events.TypeDone, Cached: true,
+			Converged: r.Converged, SimSeconds: r.SimEnd.Seconds()})
 		return r.status(), nil
 	}
 
@@ -421,6 +519,7 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 	}
 	s.inflight[tenant]++
 	s.met.submissions.With(tenant).Inc()
+	s.events.Append(r.ID, events.Event{Type: events.TypeQueued})
 	return r.status(), nil
 }
 
@@ -429,13 +528,15 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 func (s *Server) newRunLocked(tenant string, job exp.Job) *Run {
 	id := fmt.Sprintf("run-%06d", s.nextID)
 	s.nextID++
+	now := time.Now()
 	r := &Run{
 		ID:          id,
 		Tenant:      tenant,
 		Job:         job,
 		Shard:       s.queue.shardFor(tenant),
 		State:       StateQueued,
-		SubmittedAt: time.Now(),
+		SubmittedAt: now,
+		QueuedAt:    now,
 	}
 	s.runs[id] = r
 	s.order = append(s.order, id)
@@ -541,9 +642,7 @@ func (s *Server) Start(addr string) (string, error) {
 // the full state — queued runs included — is snapshotted so the next
 // process resumes them.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.stopping = true
-	s.mu.Unlock()
+	s.markStopping()
 
 	var httpErr error
 	if s.httpSrv != nil {
@@ -561,11 +660,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, id := range s.fleet.LeasedRuns() {
 		s.fleet.Revoke(id)
 		if r := s.runs[id]; r != nil && r.State == StateRunning {
-			r.State = StateQueued
-			r.StartedAt = time.Time{}
-			r.Worker = ""
-			r.LeaseID = ""
-			r.simNow.Store(0)
+			s.resetToQueuedLocked(r, "shutdown")
 		}
 	}
 	if err := s.snapshotLocked(); err != nil {
@@ -577,9 +672,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close stops hard — no snapshot, simulating a crash: recovery relies on
 // the journal alone. Tests use it to prove the kill+restart path.
 func (s *Server) Close() {
-	s.mu.Lock()
-	s.stopping = true
-	s.mu.Unlock()
+	s.markStopping()
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
@@ -632,13 +725,15 @@ type SubmitRequest struct {
 //	POST /v1/runs                      submit  {tenant, scenario, machine, seed, xml}
 //	GET  /v1/runs                      list all runs
 //	GET  /v1/runs/{id}                 one run's status
+//	GET  /v1/runs/{id}/events          live event stream (SSE, Last-Event-ID resume)
 //	POST /v1/runs/{id}/cancel          cancel
 //	GET  /v1/runs/{id}/artifacts/{name}  report | gantt | perfetto | metrics
-//	GET  /metrics, /metrics.json       the server's own registry
+//	GET  /v1/analytics                 cross-campaign aggregates over the run table
+//	GET  /metrics, /metrics.json       coordinator families + worker-labeled fleet families
 //	GET  /healthz                      liveness
 //
 // plus the fleet worker API (worker_api.go): /v1/workers/*, /v1/blobs/*,
-// and GET /v1/fleet.
+// GET /v1/fleet, and GET /v1/fleet/metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
@@ -693,11 +788,41 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", ct)
 		w.Write(blob)
 	})
+	route("GET /v1/runs/{id}/events", "events", s.handleRunEvents)
+	route("GET /v1/analytics", "analytics", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.Analytics())
+	})
 	route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.fleetRoutes(route)
-	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
-	mux.Handle("GET /metrics.json", obs.JSONHandler(s.reg))
+	// One scrape sees the whole fleet: the coordinator's own families
+	// plus every worker's pushed snapshot under a `worker` label.
+	route("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.mergedSnapshot().WritePrometheus(w); err != nil {
+			s.logf("server: write /metrics: %v", err)
+		}
+	})
+	route("GET /metrics.json", "metrics_json", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.mergedSnapshot())
+	})
 	return mux
+}
+
+// mergedSnapshot is the fleet-wide metrics view: the coordinator's
+// registry merged with each worker's last pushed registry snapshot,
+// worker families tagged worker="<id>".
+func (s *Server) mergedSnapshot() obs.Snapshot {
+	parts := []obs.Snapshot{s.reg.Snapshot()}
+	workers := s.fleet.MetricsSnapshots()
+	ids := make([]string, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		parts = append(parts, workers[id].WithLabel("worker", id))
+	}
+	return obs.MergeSnapshots(parts...)
 }

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dyflow/internal/server/events"
+	"dyflow/internal/trace"
+)
+
+// GET /v1/runs/{id}/events — the live observation half of the steering
+// loop: one run's lifecycle as a Server-Sent Events stream
+// (queued → claimed → running → progress/span → done|failed|canceled,
+// with lease expiries, requeues, and cache hits in between).
+//
+// Each frame carries `id: <epoch>.<seq>` — seq is the run's monotonic
+// event ID, epoch identifies the coordinator process. A reconnecting
+// client sends the last ID back in the standard `Last-Event-ID` header
+// (or `?after=`): same epoch resumes after seq; a different epoch (the
+// coordinator restarted, seqs restarted with it) replays every retained
+// event, so the terminal event is delivered at-least-once rather than
+// lost. The stream ends after a terminal event; a slow consumer that
+// falls out of the bounded ring gets a comment frame noting the gap
+// (counted in dyflow_server_event_drops_total) — the run is never
+// slowed down.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, &APIError{Code: http.StatusInternalServerError, Msg: "streaming unsupported"})
+		return
+	}
+	id := r.PathValue("id")
+	cursor := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("after"); q != "" {
+		cursor = q
+	}
+	after := s.parseEventCursor(cursor)
+
+	sub := s.events.Subscribe(id, after)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	epoch := s.events.Epoch()
+	for {
+		// Read the run's state BEFORE polling: if the terminal event was
+		// already published, the poll below is guaranteed to include it
+		// (finishLocked publishes under the same mutex this read takes),
+		// so observing `terminal && nothing new` means everything was
+		// delivered and the stream can end.
+		terminal := s.runTerminal(id)
+		evs, missed := sub.Poll()
+		if missed > 0 {
+			fmt.Fprintf(w, ": %d earlier events dropped (ring overrun)\n\n", missed)
+		}
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				s.logf("server: encode event %s/%d: %v", id, ev.ID, err)
+				continue
+			}
+			fmt.Fprintf(w, "id: %d.%d\nevent: %s\ndata: %s\n\n", epoch, ev.ID, ev.Type, data)
+			if ev.Type.Terminal() {
+				fl.Flush()
+				return
+			}
+		}
+		fl.Flush()
+		if terminal && len(evs) == 0 {
+			return // fully delivered in an earlier iteration (or resumed past it)
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stopped:
+			return
+		case <-sub.Notify():
+		}
+	}
+}
+
+// parseEventCursor turns a Last-Event-ID (or ?after=) value into a
+// resume sequence. "<epoch>.<seq>" from a previous coordinator process
+// (epoch mismatch) maps to 0 — replay everything retained. A bare
+// integer is treated as a current-epoch sequence (the curl-friendly
+// form). Garbage maps to 0.
+func (s *Server) parseEventCursor(v string) uint64 {
+	if v == "" {
+		return 0
+	}
+	if dot := strings.IndexByte(v, '.'); dot >= 0 {
+		epoch, err := strconv.ParseInt(v[:dot], 10, 64)
+		if err != nil || epoch != s.events.Epoch() {
+			return 0
+		}
+		v = v[dot+1:]
+	}
+	seq, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return seq
+}
+
+// runTerminal reports whether a run exists and is in a terminal state.
+func (s *Server) runTerminal(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.runs[id]
+	return r != nil && r.State.Terminal()
+}
+
+// appendWorkerSpans publishes flight-recorder spans a fleet worker
+// forwarded (in a heartbeat or result upload) into the run's stream.
+func (s *Server) appendWorkerSpans(runID, workerID string, spans []trace.Span) {
+	for i := range spans {
+		sp := spans[i]
+		s.events.Append(runID, events.Event{Type: events.TypeSpan, Worker: workerID, Span: &sp})
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"time"
 
+	"dyflow/internal/obs"
+	"dyflow/internal/server/events"
 	"dyflow/internal/server/fleet"
 )
 
@@ -31,9 +33,11 @@ func (s *Server) fleetRoutes(route func(pattern, name string, h http.HandlerFunc
 	route("POST /v1/workers/{id}/claim", "worker_claim", s.handleClaim)
 	route("POST /v1/workers/{id}/heartbeat", "worker_heartbeat", s.handleHeartbeat)
 	route("POST /v1/workers/{id}/result", "worker_result", s.handleResult)
+	route("POST /v1/workers/{id}/metrics", "worker_metrics", s.handleWorkerMetrics)
 	route("PUT /v1/blobs/{digest}", "blob_put", s.handleBlobPut)
 	route("GET /v1/blobs/{digest}", "blob_get", s.handleBlobGet)
 	route("GET /v1/fleet", "fleet", s.handleFleetView)
+	route("GET /v1/fleet/metrics", "fleet_metrics", s.handleFleetMetrics)
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -60,6 +64,7 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 		httpError(w, &APIError{Code: http.StatusBadRequest, Msg: "bad claim body: " + err.Error()})
 		return
 	}
+	s.fleet.Touch(workerID) // an empty-queue poll still proves liveness
 	wait := time.Duration(req.WaitMs) * time.Millisecond
 	if wait < 0 {
 		wait = 0
@@ -108,9 +113,12 @@ func (s *Server) leaseRun(workerID, id string) (fleet.ClaimResponse, bool) {
 		return fleet.ClaimResponse{}, false
 	}
 	r.State = StateRunning
-	r.StartedAt = time.Now()
+	r.ClaimedAt = time.Now()
+	r.StartedAt = r.ClaimedAt
 	r.Worker = workerID
 	r.LeaseID = leaseID
+	s.events.Append(id, events.Event{Type: events.TypeClaimed, Worker: workerID})
+	s.events.Append(id, events.Event{Type: events.TypeRunning, Worker: workerID})
 	return fleet.ClaimResponse{
 		RunID:      id,
 		Job:        r.Job,
@@ -132,9 +140,11 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		if run := s.runs[req.RunID]; run != nil {
 			run.simNow.Store(req.SimNs)
 			resp.Cancel = run.cancel.Load()
+			s.progressEvent(run, workerID, req.SimNs)
 		}
 		cancelAll := s.stopping
 		s.mu.Unlock()
+		s.appendWorkerSpans(req.RunID, workerID, req.Spans)
 		if cancelAll {
 			resp.Cancel = true
 		}
@@ -160,6 +170,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.appendWorkerSpans(req.RunID, workerID, req.Spans)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	run := s.runs[req.RunID]
@@ -170,19 +182,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case req.Canceled:
 		s.finishLocked(run, StateCanceled, errRunCanceled)
+		s.fleet.NoteOutcome(workerID, "canceled")
 	case req.Error != "":
 		s.finishLocked(run, StateFailed, errRemote(req.Error))
+		s.fleet.NoteOutcome(workerID, "failed")
 	default:
 		// Every referenced blob must already be in the store; otherwise
 		// the "done" run would 404 its artifacts, so requeue instead.
 		for name, digest := range req.Artifacts {
 			if !s.blobs.Has(digest) {
 				s.logf("server: result for %s references missing blob %s (%s); requeued", req.RunID, digest[:12], name)
-				run.State = StateQueued
-				run.StartedAt = time.Time{}
-				run.Worker = ""
-				run.LeaseID = ""
-				run.simNow.Store(0)
+				s.resetToQueuedLocked(run, "missing_blob")
 				s.queue.requeue(run.Shard, run.ID)
 				s.writeJSON(w, http.StatusOK, fleet.ResultResponse{Reason: "artifact blob missing; run requeued"})
 				return
@@ -199,6 +209,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			s.met.runSeconds.Observe(time.Since(run.StartedAt).Seconds())
 		}
 		s.finishLocked(run, StateDone, nil)
+		s.fleet.NoteOutcome(workerID, "done")
 	}
 	s.writeJSON(w, http.StatusOK, fleet.ResultResponse{Accepted: true})
 }
@@ -236,6 +247,32 @@ func (s *Server) handleFleetView(w http.ResponseWriter, r *http.Request) {
 		LeaseTTLMs: s.fleet.TTL().Milliseconds(),
 		Workers:    workers,
 		Leases:     len(s.fleet.LeasedRuns()),
+	})
+}
+
+// handleWorkerMetrics accepts a worker's pushed registry snapshot. The
+// coordinator folds the latest snapshot per worker into /metrics (with a
+// worker label) and serves them raw on GET /v1/fleet/metrics.
+func (s *Server) handleWorkerMetrics(w http.ResponseWriter, r *http.Request) {
+	workerID := r.PathValue("id")
+	var snap obs.Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		httpError(w, &APIError{Code: http.StatusBadRequest, Msg: "bad metrics body: " + err.Error()})
+		return
+	}
+	if !s.fleet.SetWorkerMetrics(workerID, snap) {
+		httpError(w, &APIError{Code: http.StatusNotFound, Msg: "unknown worker " + workerID})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleFleetMetrics serves each worker's last pushed snapshot plus the
+// merged, worker-labeled view.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, fleet.MetricsView{
+		Workers: s.fleet.MetricsSnapshots(),
+		Merged:  s.mergedSnapshot(),
 	})
 }
 

@@ -112,6 +112,8 @@ type Recorder struct {
 	lagVec   *obs.HistogramVec // dyflow_sensor_lag_seconds{sensor}
 	opVec    *obs.HistogramVec // dyflow_actuation_op_seconds{op}
 	queueVec *obs.GaugeVec     // dyflow_bus_queue_depth{endpoint}
+
+	onComplete func(Span) // invoked (without r.mu held) when a span completes
 }
 
 // New creates an empty recorder.
@@ -217,15 +219,38 @@ func (r *Recorder) Planned(id string, at sim.Time) {
 	}
 }
 
+// SetOnComplete registers a hook fired with a copy of each span the
+// moment its ExecutedAt is stamped — the full lifecycle is then known.
+// The hook runs on the stamping goroutine with the recorder unlocked, so
+// it may call back into the recorder; it must not block for long (it sits
+// on the actuation path). The campaign service uses it to forward
+// completed spans into a run's live event stream.
+func (r *Recorder) SetOnComplete(fn func(Span)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onComplete = fn
+	r.mu.Unlock()
+}
+
 // Executed stamps the actuation-complete instant.
 func (r *Recorder) Executed(id string, at sim.Time) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var done Span
+	fn := r.onComplete
 	if sp, ok := r.spans[id]; ok {
 		sp.ExecutedAt = at
+		done = *sp
+	} else {
+		fn = nil
+	}
+	r.mu.Unlock()
+	if fn != nil {
+		fn(done)
 	}
 }
 
