@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos chaos-restart bench bench-sim loadtest loadtest-fleet loadtest-stream examples
+.PHONY: build test vet race verify chaos chaos-restart chaos-net bench bench-sim loadtest loadtest-fleet loadtest-stream examples
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,20 @@ chaos:
 # detector.
 chaos-restart:
 	$(GO) test -race -run 'Ckpt|Checkpoint|Snapshot|Restore|Supervisor|OrchestratorKill|Journal|StopIdempotent|Sanitize' ./internal/...
+
+# Seeded network-fault sweep over the coordinator↔worker RPC plane
+# (docs/SERVICE.md, "Surviving network faults"): five fault schedules —
+# each emphasizing a different mode (latency, drops, 5xx, truncation,
+# lost replies) — injected into a 3-worker fleet's every RPC, under the
+# race detector. Asserts zero lost runs, exactly one terminal state per
+# run, and a throughput floor; then a 10s mid-run outbound partition
+# under a 30s lease TTL that must complete without a requeue. Writes
+# BENCH_chaosnet.json for the CI artifact.
+chaos-net:
+	$(GO) run -race ./cmd/dyflow-serve chaosnet \
+		-seeds 5 -workers 3 -clients 4 -per-client 4 -lease-ttl 2s \
+		-partition 10s -partition-ttl 30s -min-jobs-per-sec 0.5 \
+		-out BENCH_chaosnet.json
 
 # Micro-benchmarks on the observability hot paths (registry handles, label
 # resolution, exposition) and the bus round trip, exported as JSON for the

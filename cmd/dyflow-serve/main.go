@@ -7,6 +7,9 @@
 //	dyflow-serve loadtest [-addr host:port] [-clients N] [-per-client N]
 //	             [-seeds N] [-scenario S] [-out BENCH_serve.json]
 //	             [-fleet N] [-worker-slots N] [-kill-worker] [-stream] ...
+//	dyflow-serve chaosnet [-seeds N] [-workers N] [-clients N] [-per-client N]
+//	             [-lease-ttl D] [-partition D] [-partition-ttl D]
+//	             [-min-jobs-per-sec F] [-out BENCH_chaosnet.json]
 //
 // The service accepts campaign submissions over HTTP (POST /v1/runs),
 // executes them on a sharded worker pool of deterministic simulations, and
@@ -26,6 +29,13 @@
 // throughput and latency percentiles as JSON. -fleet N spawns N in-process
 // fleet workers (the coordinator then runs with no local pool), and
 // -kill-worker hard-kills one mid-lease to drill lease-expiry recovery.
+//
+// chaosnet is the network-chaos drill (`make chaos-net`): it sweeps
+// seeded fault schedules — latency spikes, dropped connections, injected
+// 5xx, truncated responses, lost replies — over the coordinator↔worker
+// RPC plane and asserts zero lost runs, exactly one terminal state per
+// run, and a throughput floor, then proves a mid-run directional
+// partition shorter than the lease TTL completes without a requeue.
 // docs/SERVICE.md documents all modes.
 package main
 
@@ -54,6 +64,11 @@ func main() {
 			return
 		case "worker":
 			if err := worker(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "chaosnet":
+			if err := chaosnet(os.Args[2:]); err != nil {
 				fatal(err)
 			}
 			return
@@ -136,6 +151,77 @@ func worker(args []string) error {
 	w.Stop()
 	fmt.Printf("dyflow-serve: worker %s done (%d runs completed)\n", w.ID(), w.Completed())
 	return nil
+}
+
+// chaosnet runs the seeded network-fault sweep: per seed, an embedded
+// coordinator plus a fleet whose every RPC crosses a fault-injecting
+// transport, driven by clean-network clients asserting zero lost runs,
+// exactly one terminal state per run, and a throughput floor — then a
+// directional mid-run partition the lease TTL must carry the run across.
+func chaosnet(args []string) error {
+	fs := flag.NewFlagSet("dyflow-serve chaosnet", flag.ExitOnError)
+	seedCount := fs.Int("seeds", 5, "fault schedules swept (seeds 0..N-1, each emphasizing a different mode)")
+	workers := fs.Int("workers", 3, "fleet workers per round")
+	clients := fs.Int("clients", 4, "concurrent closed-loop clients per round")
+	perClient := fs.Int("per-client", 4, "jobs each client drives to completion")
+	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "coordinator lease TTL during seeded rounds")
+	partition := fs.Duration("partition", 10*time.Second, "mid-run partition duration (negative skips the scenario)")
+	partitionTTL := fs.Duration("partition-ttl", 30*time.Second, "lease TTL for the partition scenario (must exceed -partition)")
+	minJPS := fs.Float64("min-jobs-per-sec", 0.5, "per-round throughput floor")
+	scenario := fs.String("scenario", "quickstart", "job scenario to submit")
+	out := fs.String("out", "", "write the sweep result JSON here (default stdout only)")
+	fs.Parse(args)
+
+	seeds := make([]int64, *seedCount)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	fmt.Printf("chaosnet: sweeping %d fault seeds over %d-worker fleets (%d clients × %d jobs, lease TTL %s), then a %s partition under a %s TTL\n",
+		len(seeds), *workers, *clients, *perClient, *leaseTTL, *partition, *partitionTTL)
+
+	res, err := loadgen.ChaosNet(loadgen.ChaosNetOptions{
+		Seeds:         seeds,
+		Workers:       *workers,
+		Clients:       *clients,
+		PerClient:     *perClient,
+		LeaseTTL:      *leaseTTL,
+		Partition:     *partition,
+		PartitionTTL:  *partitionTTL,
+		MinJobsPerSec: *minJPS,
+		Scenario:      *scenario,
+	})
+	if res != nil {
+		for _, r := range res.Rounds {
+			var faults int64
+			for _, n := range r.Faults {
+				faults += n
+			}
+			fmt.Printf("chaosnet: seed %d: %d/%d jobs in %.2fs (%.1f jobs/s) — %d faults, %.0f rpc retries, %.0f expiries, %.0f stale, %.0f duplicates\n",
+				r.Seed, r.Completed, r.Jobs, r.WallSeconds, r.JobsPerSec,
+				faults, r.RPCRetries, r.LeaseExpiries, r.StaleResults, r.DupResults)
+		}
+		if p := res.Partition; p != nil {
+			fmt.Printf("chaosnet: %.0fs partition under %.0fs TTL: run %s in %.1fs with %.0f lease expiries\n",
+				p.PartitionSeconds, p.LeaseTTLSeconds, p.State, p.WallSeconds, p.LeaseExpiries)
+		}
+		for _, f := range res.Failures {
+			fmt.Printf("chaosnet: FAIL: %s\n", f)
+		}
+		if *out != "" {
+			data, merr := json.MarshalIndent(res, "", "  ")
+			if merr != nil {
+				return merr
+			}
+			if werr := os.WriteFile(*out, append(data, '\n'), 0o644); werr != nil {
+				return werr
+			}
+			fmt.Printf("chaosnet: wrote %s\n", *out)
+		}
+		if res.Pass {
+			fmt.Println("chaosnet: PASS")
+		}
+	}
+	return err
 }
 
 func loadtest(args []string) error {

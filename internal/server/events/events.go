@@ -31,13 +31,14 @@ type Type string
 
 // The event types, in rough lifecycle order.
 const (
-	TypeQueued       Type = "queued"        // entered the queue (Reason: "", "restore", "lease_expired", "missing_blob", "shutdown")
+	TypeQueued       Type = "queued"        // entered the queue (Reason: "", "restore", "lease_expired", "missing_blob", "shutdown", "result_upload_failed")
 	TypeClaimed      Type = "claimed"       // a worker (or the local pool) took the run
 	TypeRunning      Type = "running"       // execution started
 	TypeProgress     Type = "progress"      // simulated time advanced (throttled)
 	TypeSpan         Type = "span"          // a flight-recorder suggestion span completed
 	TypeCacheHit     Type = "cache_hit"     // answered from the deterministic result cache
 	TypeLeaseExpired Type = "lease_expired" // the executing worker's lease lapsed
+	TypeDegraded     Type = "degraded"      // a coordinator subsystem shed work on this run (Reason: "journal_slow")
 	TypeDone         Type = "done"          // terminal: success
 	TypeFailed       Type = "failed"        // terminal: error
 	TypeCanceled     Type = "canceled"      // terminal: canceled

@@ -1,0 +1,240 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// always returns a transport whose every request suffers mode.
+func always(mode Mode, next http.RoundTripper) *Transport {
+	p := Plan{Seed: 1, TimeoutHold: 50 * time.Millisecond,
+		LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond}
+	switch mode {
+	case ModeLatency:
+		p.Latency = 1
+	case ModeDrop:
+		p.Drop = 1
+	case Mode5xx:
+		p.Err5xx = 1
+	case ModeTimeout:
+		p.Timeout = 1
+	case ModeTruncate:
+		p.Truncate = 1
+	case ModeLostReply:
+		p.LostReply = 1
+	}
+	return New(p, next)
+}
+
+// server counts requests served and answers a fixed JSON body with an
+// explicit Content-Length (the coordinator's writeJSON discipline).
+func server(t *testing.T, served *atomic.Int64) *httptest.Server {
+	t.Helper()
+	body := []byte(`{"ok":true,"padding":"0123456789012345678901234567890123456789"}`)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDropNeverReachesServer(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	client := &http.Client{Transport: always(ModeDrop, nil)}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if served.Load() != 0 {
+		t.Fatalf("dropped request reached the server (%d served)", served.Load())
+	}
+}
+
+func Test5xxSynthesizedWithoutForwarding(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	client := &http.Client{Transport: always(Mode5xx, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if served.Load() != 0 {
+		t.Fatalf("5xx-faulted request reached the server (%d served)", served.Load())
+	}
+}
+
+func TestTruncationDetectableViaContentLength(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	client := &http.Client{Transport: always(ModeTruncate, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body read err = %v (%d bytes), want unexpected EOF", err, len(data))
+	}
+	if int64(len(data)) >= resp.ContentLength {
+		t.Fatalf("read %d bytes of an advertised %d: not truncated", len(data), resp.ContentLength)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("truncated request served %d times", served.Load())
+	}
+}
+
+func TestLostReplyServedButFails(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	client := &http.Client{Transport: always(ModeLostReply, nil)}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("lost reply returned no error")
+	}
+	// The defining property: the server DID process the request.
+	if served.Load() != 1 {
+		t.Fatalf("lost-reply request served %d times, want 1", served.Load())
+	}
+}
+
+func TestTimeoutHonorsCallerDeadline(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	tr := always(ModeTimeout, nil)
+	tr.plan.TimeoutHold = 10 * time.Second
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("timed-out request returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline ignored: call took %v", elapsed)
+	}
+	if served.Load() != 0 {
+		t.Fatalf("timeout-faulted request reached the server (%d served)", served.Load())
+	}
+}
+
+func TestPartitionDirections(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	tr := New(Plan{Seed: 1}, nil)
+	client := &http.Client{Transport: tr}
+
+	tr.Partition(time.Minute, Outbound)
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("outbound-partitioned request returned no error")
+	}
+	if served.Load() != 0 {
+		t.Fatal("outbound partition let the request through")
+	}
+
+	tr.Partition(time.Minute, Inbound)
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("inbound-partitioned request returned no error")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("inbound partition served %d requests, want 1 (request lands, reply lost)", served.Load())
+	}
+
+	tr.Heal()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed transport still failing: %v", err)
+	}
+	resp.Body.Close()
+	if got := tr.Counts()[ModePartition]; got != 2 {
+		t.Fatalf("partition fault count = %d, want 2", got)
+	}
+}
+
+func TestExemptSkipsInjectionButNotPartitions(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	tr := always(ModeDrop, nil)
+	tr.Exempt(func(method, path string) bool { return true })
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("exempt request faulted: %v", err)
+	}
+	resp.Body.Close()
+
+	tr.Partition(time.Minute, Outbound)
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("partition spared an exempt request")
+	}
+}
+
+// TestPlanForSeedDeterministicAndEmphasized: the sweep's plan derivation
+// is a pure function of the seed, and consecutive seeds rotate which
+// mode dominates.
+func TestPlanForSeedDeterministicAndEmphasized(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		if PlanForSeed(seed) != PlanForSeed(seed) {
+			t.Fatalf("PlanForSeed(%d) not deterministic", seed)
+		}
+	}
+	if PlanForSeed(0).Latency <= PlanForSeed(1).Latency {
+		t.Fatal("seed 0 should emphasize latency")
+	}
+	if PlanForSeed(1).Drop <= PlanForSeed(0).Drop {
+		t.Fatal("seed 1 should emphasize drops")
+	}
+	if PlanForSeed(4).LostReply <= PlanForSeed(3).LostReply {
+		t.Fatal("seed 4 should emphasize lost replies")
+	}
+}
+
+// TestSeededRollsReproducible: two transports with the same plan sample
+// the same fault sequence when driven sequentially.
+func TestSeededRollsReproducible(t *testing.T) {
+	var served atomic.Int64
+	srv := server(t, &served)
+	plan := PlanForSeed(7)
+	sequence := func() []Mode {
+		tr := New(plan, nil)
+		client := &http.Client{Transport: tr, Timeout: time.Second}
+		var out []Mode
+		tr.OnFault(func(f Fault) { out = append(out, f.Mode) })
+		for i := 0; i < 60; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	if len(a) != len(b) {
+		t.Fatalf("fault sequences diverge: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d diverges: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no faults injected across 60 requests of a mixed plan")
+	}
+}

@@ -38,6 +38,12 @@ type BlobStore struct {
 	count *obs.Gauge   // dyflow_server_fleet_blobs
 	size  *obs.Gauge   // dyflow_server_fleet_blob_bytes
 	dedup *obs.Counter // dyflow_server_fleet_blob_dedup_total
+
+	// Degraded mode: a failed disk write keeps the blob memory-resident
+	// (serving continues) instead of failing the upload — counted per
+	// shed, gauge held at 1 until a later write succeeds.
+	degraded *obs.Gauge   // dyflow_server_degraded_mode{component="blobs"}
+	sheds    *obs.Counter // dyflow_server_degraded_sheds_total{component="blobs"}
 }
 
 // NewBlobStore opens a blob store rooted at dir ("" keeps blobs in memory
@@ -60,6 +66,12 @@ func NewBlobStore(dir string, reg *obs.Registry) (*BlobStore, error) {
 			"Total bytes resident in the content-addressed artifact store.").With(),
 		dedup: reg.Counter("dyflow_server_fleet_blob_dedup_total",
 			"Blob uploads answered by an already-stored identical blob.").With(),
+		degraded: reg.Gauge("dyflow_server_degraded_mode",
+			"1 while the component is operating degraded (shedding work instead of blocking).",
+			"component").With("blobs"),
+		sheds: reg.Counter("dyflow_server_degraded_sheds_total",
+			"Operations shed to a degraded path instead of blocking the API.",
+			"component").With("blobs"),
 	}, nil
 }
 
@@ -76,6 +88,14 @@ func (b *BlobStore) Put(data []byte) (string, error) {
 
 // PutAs stores data under digest, verifying the content actually hashes
 // to it — a worker upload with a wrong address is rejected, not stored.
+//
+// A failed *disk* write is not an upload failure: the blob stays
+// memory-resident and fully servable, so the store sheds to a degraded
+// memory-only mode (counted, gauge at 1) instead of failing the PUT.
+// That trade is safe because restore already demotes done runs whose
+// artifact references no longer resolve back to queued — losing the
+// durable copy costs a deterministic re-execution after a crash, never
+// a wrong answer. The gauge clears on the next write the disk accepts.
 func (b *BlobStore) PutAs(digest string, data []byte) error {
 	if got := Digest(data); got != digest {
 		return fmt.Errorf("fleet: blob digest mismatch: body is %s, address is %s", got, digest)
@@ -94,6 +114,17 @@ func (b *BlobStore) PutAs(digest string, data []byte) error {
 	if b.dir == "" {
 		return nil
 	}
+	if err := b.writeDisk(digest, data); err != nil {
+		b.sheds.Inc()
+		b.degraded.Set(1)
+		return nil
+	}
+	b.degraded.Set(0)
+	return nil
+}
+
+// writeDisk persists one blob atomically (tmp + rename).
+func (b *BlobStore) writeDisk(digest string, data []byte) error {
 	p := b.path(digest)
 	if _, err := os.Stat(p); err == nil {
 		return nil // already durable (e.g. restored from a prior process)

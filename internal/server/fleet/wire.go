@@ -66,10 +66,18 @@ type HeartbeatResponse struct {
 
 // ResultRequest uploads a run's outcome. Artifacts maps artifact names to
 // blob digests the worker has already uploaded via PUT /v1/blobs/{digest}.
+//
+// LeaseID doubles as the attempt-stable idempotency key: the coordinator
+// remembers which lease finished each run, so a retried POST after a
+// lost 200 is acknowledged as a duplicate instead of counted stale.
+// Requeue hands a still-valid lease back — the run returns to the queue
+// (event reason result_upload_failed) instead of finishing; workers send
+// it when the run succeeded but its artifacts could not be uploaded.
 type ResultRequest struct {
 	RunID     string            `json:"run_id"`
 	LeaseID   string            `json:"lease_id"`
 	Canceled  bool              `json:"canceled,omitempty"`
+	Requeue   bool              `json:"requeue,omitempty"`
 	Error     string            `json:"error,omitempty"`
 	Converged bool              `json:"converged,omitempty"`
 	SimEndNs  int64             `json:"sim_end_ns,omitempty"`

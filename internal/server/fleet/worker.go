@@ -37,7 +37,21 @@ type WorkerOptions struct {
 	// ClaimWait is the long-poll window a claim blocks for when the queue
 	// is empty. 0 means 500ms.
 	ClaimWait time.Duration
-	// Client overrides the HTTP client (tests).
+	// CallTimeout is the per-RPC deadline: no single coordinator call may
+	// block longer than this (heartbeats use a tighter bound derived from
+	// the lease TTL; claims add the long-poll window on top). 0 means 10s.
+	CallTimeout time.Duration
+	// RegisterWait bounds how long JoinFleet retries registration against
+	// an unreachable coordinator before giving up. 0 means 10s.
+	RegisterWait time.Duration
+	// MaxSpanBuffer caps the flight-recorder spans buffered while the
+	// coordinator is unreachable; beyond it the oldest spans are dropped
+	// and counted in dyflow_worker_span_drops_total. 0 means 1024.
+	MaxSpanBuffer int
+	// BackoffSeed seeds retry jitter for reproducible tests. 0 seeds from
+	// the clock.
+	BackoffSeed int64
+	// Client overrides the HTTP client (tests, fault injection).
 	Client *http.Client
 	// OnClaim, when set (tests, chaos), is called with each claimed run ID
 	// before execution starts — it can block to hold the lease mid-claim.
@@ -56,12 +70,23 @@ type WorkerOptions struct {
 // wall-clock cadence) → upload blobs → report the result. Determinism
 // makes abandoning work safe at any point: the coordinator's lease expiry
 // requeues the run and its re-execution is byte-identical.
+//
+// Every RPC carries a per-call deadline and survives a hostile network
+// (see internal/server/faultnet): transient failures — transport errors,
+// 5xx, truncated responses — are retried with capped exponential backoff
+// and full jitter, counted in dyflow_worker_rpc_retries_total. Result
+// POSTs are idempotent: the lease ID is the attempt-stable idempotency
+// key, so a retried completion whose first 200 was lost is deduplicated
+// by the coordinator instead of counted stale.
 type Worker struct {
-	o      WorkerOptions
-	id     string
-	base   string
-	client *http.Client
-	hbEach time.Duration
+	o           WorkerOptions
+	id          string
+	base        string
+	client      *http.Client
+	hbEach      time.Duration
+	hbTimeout   time.Duration
+	callTimeout time.Duration
+	maxSpans    int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -82,6 +107,8 @@ type Worker struct {
 	metActive    *obs.Gauge      // dyflow_worker_active_runs
 	metHB        *obs.Counter    // dyflow_worker_heartbeats_total
 	metArtifacts *obs.Counter    // dyflow_worker_artifact_bytes_total
+	metRetries   *obs.CounterVec // dyflow_worker_rpc_retries_total{call}
+	metSpanDrops *obs.Counter    // dyflow_worker_span_drops_total
 }
 
 // JoinFleet registers a worker with the coordinator and starts its slot
@@ -93,6 +120,15 @@ func JoinFleet(o WorkerOptions) (*Worker, error) {
 	if o.ClaimWait <= 0 {
 		o.ClaimWait = 500 * time.Millisecond
 	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.RegisterWait <= 0 {
+		o.RegisterWait = 10 * time.Second
+	}
+	if o.MaxSpanBuffer <= 0 {
+		o.MaxSpanBuffer = 1024
+	}
 	client := o.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
@@ -102,6 +138,7 @@ func JoinFleet(o WorkerOptions) (*Worker, error) {
 		mreg = obs.NewRegistry()
 	}
 	w := &Worker{o: o, base: "http://" + o.Coordinator, client: client,
+		callTimeout: o.CallTimeout, maxSpans: o.MaxSpanBuffer,
 		reg: mreg, pushDone: make(chan struct{})}
 	w.metClaims = mreg.Counter("dyflow_worker_claims_total",
 		"Runs this worker claimed from the coordinator.").With()
@@ -115,12 +152,21 @@ func JoinFleet(o WorkerOptions) (*Worker, error) {
 		"Lease heartbeats this worker sent successfully.").With()
 	w.metArtifacts = mreg.Counter("dyflow_worker_artifact_bytes_total",
 		"Artifact bytes this worker uploaded to the blob store.").With()
+	w.metRetries = mreg.Counter("dyflow_worker_rpc_retries_total",
+		"Coordinator RPC attempts retried after a transient failure, by call.", "call")
+	w.metSpanDrops = mreg.Counter("dyflow_worker_span_drops_total",
+		"Flight-recorder spans dropped because the buffer filled while the coordinator was unreachable.").With()
 	w.ctx, w.cancel = context.WithCancel(context.Background())
 	w.claiming.Store(true)
 
+	// Registration retries through a flaky network: workers are often
+	// started alongside (or before) the coordinator.
 	var reg RegisterResponse
-	err := w.post("/v1/workers/register", RegisterRequest{Name: o.Name, Slots: o.Slots}, &reg)
+	err := w.postRetry("register", "/v1/workers/register",
+		RegisterRequest{Name: o.Name, Slots: o.Slots}, &reg, time.Now().Add(o.RegisterWait))
 	if err != nil {
+		w.cancel()
+		close(w.pushDone)
 		return nil, fmt.Errorf("fleet: register with %s: %w", o.Coordinator, err)
 	}
 	w.id = reg.WorkerID
@@ -131,10 +177,19 @@ func JoinFleet(o WorkerOptions) (*Worker, error) {
 	if w.hbEach <= 0 {
 		w.hbEach = time.Second
 	}
+	// A heartbeat that blocks past TTL/3 is as good as lost: bound it so
+	// a hung coordinator cannot stall the progress hook into lease loss.
+	w.hbTimeout = w.hbEach
+	if w.hbTimeout < 50*time.Millisecond {
+		w.hbTimeout = 50 * time.Millisecond
+	}
+	if w.hbTimeout > w.callTimeout {
+		w.hbTimeout = w.callTimeout
+	}
 
 	for i := 0; i < o.Slots; i++ {
 		w.wg.Add(1)
-		go w.slot()
+		go w.slot(int64(i))
 	}
 	every := o.MetricsEvery
 	if every <= 0 {
@@ -198,28 +253,28 @@ func (w *Worker) pushMetrics() {
 	if w.killed.Load() {
 		return // crashed workers push nothing
 	}
-	_ = w.post("/v1/workers/"+w.id+"/metrics", w.reg.Snapshot(), nil)
+	_, _ = w.postCode("/v1/workers/"+w.id+"/metrics", w.reg.Snapshot(), nil, w.callTimeout)
 }
 
-// slot is one claim-execute-upload loop.
-func (w *Worker) slot() {
+// slot is one claim-execute-upload loop. Claim failures back off with
+// full jitter (workers outlive coordinator restarts without stampeding
+// the restarted process) and reset on the first success.
+func (w *Worker) slot(n int64) {
 	defer w.wg.Done()
-	backoff := 10 * time.Millisecond
+	b := newBackoff(10*time.Millisecond, time.Second, mixSeed(w.o.BackoffSeed, n))
 	for w.claiming.Load() {
 		claim, ok, err := w.claim()
 		if err != nil {
 			if w.ctx.Err() != nil {
 				return
 			}
-			// Coordinator unreachable: back off and retry — workers
-			// outlive coordinator restarts.
-			sleepCtx(w.ctx, backoff)
-			if backoff < time.Second {
-				backoff *= 2
+			w.metRetries.With("claim").Inc()
+			if !sleepCtx(w.ctx, b.next()) {
+				return
 			}
 			continue
 		}
-		backoff = 10 * time.Millisecond
+		b.reset()
 		if !ok {
 			continue // empty queue after the long-poll window
 		}
@@ -235,12 +290,22 @@ func (w *Worker) slot() {
 	}
 }
 
+// mixSeed derives a per-slot jitter seed (0 stays 0 = clock-seeded).
+func mixSeed(seed, n int64) int64 {
+	if seed == 0 {
+		return 0
+	}
+	return seed*31 + n + 1
+}
+
 // claim asks the coordinator for a run. ok=false means the queue stayed
-// empty for the poll window.
+// empty for the poll window. The per-call deadline covers the long-poll
+// window plus the normal RPC budget.
 func (w *Worker) claim() (ClaimResponse, bool, error) {
 	var resp ClaimResponse
 	code, err := w.postCode("/v1/workers/"+w.id+"/claim",
-		ClaimRequest{WaitMs: w.o.ClaimWait.Milliseconds()}, &resp)
+		ClaimRequest{WaitMs: w.o.ClaimWait.Milliseconds()}, &resp,
+		w.o.ClaimWait+w.callTimeout)
 	if err != nil {
 		return resp, false, err
 	}
@@ -250,61 +315,107 @@ func (w *Worker) claim() (ClaimResponse, bool, error) {
 	return resp, true, nil
 }
 
+// spanBuffer accumulates completed flight-recorder spans between
+// heartbeats, bounded so a long partition cannot grow it without limit:
+// past cap, the oldest spans are dropped and counted.
+type spanBuffer struct {
+	mu    sync.Mutex
+	buf   []trace.Span
+	cap   int
+	drops *obs.Counter
+}
+
+// add appends sp, evicting the oldest beyond cap.
+func (s *spanBuffer) add(sp ...trace.Span) {
+	s.mu.Lock()
+	s.buf = append(s.buf, sp...)
+	s.capLocked()
+	s.mu.Unlock()
+}
+
+// restore returns a batch that failed to send to the FRONT (it is older
+// than anything buffered since), still enforcing the cap.
+func (s *spanBuffer) restore(sp []trace.Span) {
+	if len(sp) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.buf = append(append(make([]trace.Span, 0, len(sp)+len(s.buf)), sp...), s.buf...)
+	s.capLocked()
+	s.mu.Unlock()
+}
+
+func (s *spanBuffer) capLocked() {
+	if over := len(s.buf) - s.cap; over > 0 {
+		s.buf = append(s.buf[:0:0], s.buf[over:]...)
+		s.drops.Add(int64(over))
+	}
+}
+
+// take drains the buffer.
+func (s *spanBuffer) take() []trace.Span {
+	s.mu.Lock()
+	out := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	return out
+}
+
 // execute runs one claimed job, heartbeating on wall-clock cadence, then
 // uploads artifacts and reports the outcome. Flight-recorder spans that
-// complete during execution accumulate locally and are drained into
-// heartbeats (the coordinator republishes them on the run's live event
-// stream); whatever remains undrained rides along with the result.
+// complete during execution accumulate locally (bounded) and are drained
+// into heartbeats (the coordinator republishes them on the run's live
+// event stream); whatever remains undrained rides along with the result.
+//
+// Heartbeat failures distinguish "coordinator slow or unreachable" from
+// "lease lost": a failed send is survivable as long as the lease cannot
+// yet have lapsed at the coordinator (the last accepted heartbeat is
+// less than one TTL old), so the worker keeps executing across a short
+// partition instead of abandoning work the lease still protects. Only a
+// coordinator that explicitly reports the lease stale — or a silence
+// longer than the TTL — aborts the run.
 func (w *Worker) execute(claim ClaimResponse) {
 	ttl := time.Duration(claim.LeaseTTLMs) * time.Millisecond
-	lastTry := time.Now() // last heartbeat attempt
-	lastOK := lastTry     // last heartbeat the coordinator accepted
+	lastOK := time.Now() // last heartbeat the coordinator accepted (claim counts)
+	hbNext := lastOK.Add(w.hbEach)
+	hbRetry := w.hbEach / 2
+	if hbRetry > 200*time.Millisecond {
+		hbRetry = 200 * time.Millisecond
+	}
+	if hbRetry <= 0 {
+		hbRetry = 50 * time.Millisecond
+	}
 	w.metActive.Add(1)
 	defer w.metActive.Add(-1)
 	started := time.Now()
 
-	var spanMu sync.Mutex
-	var spans []trace.Span
-	takeSpans := func() []trace.Span {
-		spanMu.Lock()
-		defer spanMu.Unlock()
-		out := spans
-		spans = nil
-		return out
-	}
-	returnSpans := func(sp []trace.Span) {
-		if len(sp) == 0 {
-			return
-		}
-		spanMu.Lock()
-		spans = append(sp, spans...)
-		spanMu.Unlock()
-	}
+	spans := &spanBuffer{cap: w.maxSpans, drops: w.metSpanDrops}
 
 	out, err := exp.RunJob(claim.Job, func(world *exp.World) error {
 		if world.Orch != nil {
 			world.Orch.Trace.SetOnComplete(func(sp trace.Span) {
-				spanMu.Lock()
-				spans = append(spans, sp)
-				spanMu.Unlock()
+				spans.add(sp)
 			})
 		}
 		world.OnProgress = func(now sim.Time) error {
 			if w.killed.Load() {
 				return errWorkerKilled
 			}
-			if time.Since(lastTry) < w.hbEach {
+			if time.Now().Before(hbNext) {
 				return nil
 			}
-			lastTry = time.Now()
-			batch := takeSpans()
+			batch := spans.take()
 			var hb HeartbeatResponse
-			if err := w.post("/v1/workers/"+w.id+"/heartbeat",
+			_, err := w.postCode("/v1/workers/"+w.id+"/heartbeat",
 				HeartbeatRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
-					SimNs: int64(now), Spans: batch}, &hb); err != nil {
-				returnSpans(batch) // retry the batch with the next heartbeat
-				// Lost heartbeats are survivable inside the TTL; give up
-				// only once the lease must have lapsed at the coordinator.
+					SimNs: int64(now), Spans: batch}, &hb, w.hbTimeout)
+			if err != nil {
+				spans.restore(batch) // retry the batch with the next heartbeat
+				// Coordinator slow, partitioned, or restarting: survivable
+				// inside the TTL. Retry sooner than the normal cadence and
+				// give up only once the lease must have lapsed.
+				w.metRetries.With("heartbeat").Inc()
+				hbNext = time.Now().Add(hbRetry)
 				if time.Since(lastOK) > ttl {
 					return errLeaseLost
 				}
@@ -312,6 +423,7 @@ func (w *Worker) execute(claim ClaimResponse) {
 			}
 			w.metHB.Inc()
 			lastOK = time.Now()
+			hbNext = lastOK.Add(w.hbEach)
 			switch {
 			case !hb.Valid:
 				return errLeaseLost
@@ -324,6 +436,12 @@ func (w *Worker) execute(claim ClaimResponse) {
 	})
 	w.metRunSec.Observe(time.Since(started).Seconds())
 
+	// The result-delivery horizon: the worker stopped heartbeating when
+	// execution ended, so the lease lapses at the coordinator one TTL
+	// after the last accepted heartbeat. Retrying past that point is
+	// pointless — expiry has already requeued the run.
+	horizon := lastOK.Add(ttl)
+
 	switch {
 	case w.killed.Load():
 		return // crashed workers upload nothing
@@ -331,47 +449,66 @@ func (w *Worker) execute(claim ClaimResponse) {
 		return // the run was requeued under us; our result would be stale
 	case errors.Is(err, errCancelled):
 		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
-			Canceled: true, Error: errCancelled.Error(), Spans: takeSpans()})
+			Canceled: true, Error: errCancelled.Error(), Spans: spans.take()}, horizon)
 	case err != nil:
 		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
-			Error: err.Error(), Spans: takeSpans()})
+			Error: err.Error(), Spans: spans.take()}, horizon)
 	default:
-		refs, uerr := w.uploadArtifacts(out.Artifacts)
+		refs, uerr := w.uploadArtifacts(out.Artifacts, horizon)
 		if uerr != nil {
 			if w.ctx.Err() != nil {
 				return
 			}
+			// The blob plane is degraded but the run itself succeeded:
+			// hand the lease back for requeue instead of failing the run —
+			// the coordinator publishes it as queued/result_upload_failed.
 			w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
-				Error: fmt.Sprintf("artifact upload: %v", uerr)})
+				Requeue: true, Error: fmt.Sprintf("artifact upload: %v", uerr)}, horizon)
 			return
 		}
 		w.report(ResultRequest{RunID: claim.RunID, LeaseID: claim.LeaseID,
 			Converged: out.Converged, SimEndNs: int64(out.SimEnd),
-			Artifacts: refs, Spans: takeSpans()})
+			Artifacts: refs, Spans: spans.take()}, horizon)
 	}
 }
 
 // uploadArtifacts pushes each artifact blob the coordinator does not
 // already hold (content addressing makes re-executions and shared cache
-// hits free) and returns the name → digest reference map.
-func (w *Worker) uploadArtifacts(artifacts map[string][]byte) (map[string]string, error) {
+// hits free) and returns the name → digest reference map. Each blob op
+// retries with backoff until the horizon; the digest probe doubles as
+// upload resume — a PUT whose 201 was lost verifies on the next HEAD and
+// is never re-sent.
+func (w *Worker) uploadArtifacts(artifacts map[string][]byte, horizon time.Time) (map[string]string, error) {
+	b := newBackoff(10*time.Millisecond, time.Second, mixSeed(w.o.BackoffSeed, 1<<20))
 	refs := make(map[string]string, len(artifacts))
 	for name, data := range artifacts {
 		digest := Digest(data)
 		refs[name] = digest
-		if w.hasBlob(digest) {
-			continue
+		for {
+			if w.hasBlob(digest) {
+				break
+			}
+			err := w.putBlob(digest, data)
+			if err == nil {
+				w.metArtifacts.Add(int64(len(data)))
+				break
+			}
+			if w.ctx.Err() != nil || !time.Now().Before(horizon) {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			w.metRetries.With("blob").Inc()
+			if !sleepCtx(w.ctx, b.next()) {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
 		}
-		if err := w.putBlob(digest, data); err != nil {
-			return nil, err
-		}
-		w.metArtifacts.Add(int64(len(data)))
 	}
 	return refs, nil
 }
 
 func (w *Worker) hasBlob(digest string) bool {
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodHead, w.base+"/v1/blobs/"+digest, nil)
+	ctx, cancel := context.WithTimeout(w.ctx, w.callTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, w.base+"/v1/blobs/"+digest, nil)
 	if err != nil {
 		return false
 	}
@@ -384,7 +521,9 @@ func (w *Worker) hasBlob(digest string) bool {
 }
 
 func (w *Worker) putBlob(digest string, data []byte) error {
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodPut, w.base+"/v1/blobs/"+digest, bytes.NewReader(data))
+	ctx, cancel := context.WithTimeout(w.ctx, w.callTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, w.base+"/v1/blobs/"+digest, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -401,10 +540,15 @@ func (w *Worker) putBlob(digest string, data []byte) error {
 	return nil
 }
 
-// report posts the result; a rejected (stale) upload is dropped silently —
-// the coordinator has already moved on.
-func (w *Worker) report(res ResultRequest) {
+// report posts the result, retrying transient failures until the lease
+// horizon. The retry is safe because the coordinator deduplicates by
+// lease ID: a second delivery of an already-applied result is answered
+// Accepted without re-finishing the run. A rejected (stale) upload is
+// dropped silently — the coordinator has already moved on.
+func (w *Worker) report(res ResultRequest, horizon time.Time) {
 	switch {
+	case res.Requeue:
+		// Not an outcome: the run goes back to the queue.
 	case res.Canceled:
 		w.metRuns.With("canceled").Inc()
 	case res.Error != "":
@@ -413,26 +557,67 @@ func (w *Worker) report(res ResultRequest) {
 		w.metRuns.With("done").Inc()
 	}
 	var resp ResultResponse
-	if err := w.post("/v1/workers/"+w.id+"/result", res, &resp); err != nil {
-		return // coordinator gone or lease raced; expiry handles the run
+	if err := w.postRetry("result", "/v1/workers/"+w.id+"/result", res, &resp, horizon); err != nil {
+		return // coordinator gone past the lease horizon; expiry handles the run
 	}
-	if resp.Accepted && res.Error == "" && !res.Canceled {
+	if resp.Accepted && !res.Requeue && res.Error == "" && !res.Canceled {
 		w.completed.Add(1)
 	}
 }
 
-// post sends a JSON request and decodes the JSON response.
+// retryable reports whether a failed RPC attempt is worth repeating:
+// transport errors (code 0), 5xx, and torn 2xx bodies are; a 3xx/4xx is
+// a semantic answer, not a network accident.
+func retryable(code int, err error) bool {
+	if err == nil {
+		return false
+	}
+	return code == 0 || code >= 500 || code < 300
+}
+
+// postRetry sends a JSON request with capped exponential backoff and
+// full jitter until it succeeds, fails non-retryably, or passes the
+// deadline. Retries are counted per call label in
+// dyflow_worker_rpc_retries_total.
+func (w *Worker) postRetry(label, path string, body, out any, deadline time.Time) error {
+	b := newBackoff(10*time.Millisecond, time.Second, mixSeed(w.o.BackoffSeed, int64(len(path))))
+	for {
+		code, err := w.postCode(path, body, out, w.callTimeout)
+		if err == nil {
+			return nil
+		}
+		if !retryable(code, err) || w.ctx.Err() != nil || !time.Now().Before(deadline) {
+			return err
+		}
+		w.metRetries.With(label).Inc()
+		if !sleepCtx(w.ctx, b.next()) {
+			return err
+		}
+	}
+}
+
+// post sends a JSON request once with the default per-call deadline.
 func (w *Worker) post(path string, body, out any) error {
-	_, err := w.postCode(path, body, out)
+	_, err := w.postCode(path, body, out, w.callTimeout)
 	return err
 }
 
-func (w *Worker) postCode(path string, body, out any) (int, error) {
+// postCode sends one JSON request under a per-call deadline and decodes
+// the JSON response. A response shorter than its Content-Length — a torn
+// connection, faultnet truncation — surfaces as an unexpected-EOF read
+// error, which retryable() classifies as transient.
+func (w *Worker) postCode(path string, body, out any, timeout time.Duration) (int, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.base+path, bytes.NewReader(data))
+	ctx := w.ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(w.ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(data))
 	if err != nil {
 		return 0, err
 	}
@@ -453,14 +638,4 @@ func (w *Worker) postCode(path string, body, out any) (int, error) {
 		return resp.StatusCode, nil
 	}
 	return resp.StatusCode, json.Unmarshal(raw, out)
-}
-
-// sleepCtx sleeps for d or until ctx is done.
-func sleepCtx(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
 }

@@ -1,0 +1,54 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChaosNetSweepScaled is the in-repo, scaled-down cut of the
+// `make chaos-net` drill: two emphasized fault seeds (drops, lost
+// replies) over a 2-worker fleet plus a sub-second mid-run partition.
+// The full five-seed, 3-worker, 10s-partition sweep runs from the CLI
+// (dyflow-serve chaosnet) in CI.
+func TestChaosNetSweepScaled(t *testing.T) {
+	res, err := ChaosNet(ChaosNetOptions{
+		Seeds:         []int64{1, 4},
+		Workers:       2,
+		Clients:       2,
+		PerClient:     2,
+		LeaseTTL:      1500 * time.Millisecond,
+		Partition:     600 * time.Millisecond,
+		PartitionTTL:  6 * time.Second,
+		MinJobsPerSec: 0.05,
+	})
+	if res != nil {
+		b, _ := json.MarshalIndent(res, "", "  ")
+		t.Logf("sweep result:\n%s", b)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("sweep failed: %v", res.Failures)
+	}
+	// The sweep must have actually injected faults and the plane must
+	// have actually retried through them — a silently clean network
+	// would pass every assertion while testing nothing.
+	var faults, retries float64
+	for _, r := range res.Rounds {
+		for _, n := range r.Faults {
+			faults += float64(n)
+		}
+		retries += r.RPCRetries
+	}
+	if faults == 0 {
+		t.Fatal("no faults injected across the sweep")
+	}
+	if retries == 0 {
+		t.Fatal("no worker RPC retries recorded despite injected faults")
+	}
+	if res.Partition == nil || res.Partition.WallSeconds < res.Partition.PartitionSeconds {
+		t.Fatalf("partition scenario did not span the partition: %+v", res.Partition)
+	}
+}

@@ -19,6 +19,13 @@ type metrics struct {
 	requeued     *obs.Counter    // pending runs resumed after a restart
 	httpReqs     *obs.CounterVec // {route}
 	journalErrs  *obs.Counter    // WAL appends that failed (durability loss)
+
+	// Degraded-mode observability: when a subsystem sheds work instead of
+	// blocking the API (slow journal appends, failed blob disk writes),
+	// the shed is counted and the mode gauge flips to 1 until it clears.
+	degradedMode  *obs.GaugeVec   // {component} 1 while degraded
+	degradedSheds *obs.CounterVec // {component} operations shed to a degraded path
+	dupResults    *obs.Counter    // retransmitted results deduplicated by lease ID
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -45,5 +52,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"API requests by route.", "route"),
 		journalErrs: reg.Counter("dyflow_server_journal_errors_total",
 			"Checkpoint-journal appends that failed; the affected transition is not durable.").With(),
+		degradedMode: reg.Gauge("dyflow_server_degraded_mode",
+			"1 while the component is operating degraded (shedding work instead of blocking).", "component"),
+		degradedSheds: reg.Counter("dyflow_server_degraded_sheds_total",
+			"Operations shed to a degraded path instead of blocking the API.", "component"),
+		dupResults: reg.Counter("dyflow_server_fleet_duplicate_results_total",
+			"Result uploads retransmitted after a lost acknowledgement, deduplicated by lease ID.").With(),
 	}
 }

@@ -104,19 +104,126 @@ func (s *Server) applyPersisted(p persistedRun) *Run {
 	return r
 }
 
-// journal appends one entry, if persistence is on. A failed append is
-// counted in dyflow_server_journal_errors_total and logged — silent
-// durability loss is the one failure mode a recovery system cannot have.
+// journalQueueDepth bounds the single-flight writer's backlog. A full
+// queue means the WAL device has been wedged long enough to pile this
+// many appends behind it; further appends are refused (counted as
+// journal errors) rather than buffered without bound.
+const journalQueueDepth = 1024
+
+// jreq is one append handed to the journal writer goroutine.
+type jreq struct {
+	kind string
+	v    any
+	done chan error
+}
+
+// journalWriter is the single goroutine actually appending to the WAL,
+// preserving call order even when callers shed. Failures are counted in
+// dyflow_server_journal_errors_total and logged here, exactly once per
+// append, whether the caller waited or shed.
+func (s *Server) journalWriter() {
+	defer s.jwg.Done()
+	for req := range s.jq {
+		err := s.store.Append(req.kind, req.v)
+		if err != nil {
+			s.met.journalErrs.Inc()
+			s.logf("server: journal %s: %v", req.kind, err)
+		}
+		req.done <- err
+	}
+}
+
+// drainJournal stops the writer, flushing whatever shed appends are
+// still queued. Handlers racing a hard Close observe jclosed instead of
+// panicking on the closed channel.
+func (s *Server) drainJournal() {
+	if s.jq == nil {
+		return
+	}
+	s.jonce.Do(func() {
+		s.jmu.Lock()
+		s.jclosed = true
+		s.jmu.Unlock()
+		close(s.jq)
+		s.jwg.Wait()
+	})
+}
+
+// enqueueJournal hands one append to the writer. closed=true means the
+// writer has shut down (hard Close mid-request); ok=false with
+// closed=false means the backlog is full.
+func (s *Server) enqueueJournal(req jreq) (ok, closed bool) {
+	s.jmu.RLock()
+	defer s.jmu.RUnlock()
+	if s.jclosed {
+		return false, true
+	}
+	select {
+	case s.jq <- req:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// journal appends one entry, if persistence is on, waiting at most the
+// journal budget. An append that *fails* within the budget keeps its
+// synchronous contract — the caller sees the error and can refuse the
+// transition (silent durability loss is the one failure mode a recovery
+// system cannot have). An append that is merely *slow* sheds instead of
+// blocking the API: the caller proceeds, the background writer finishes
+// the append late, and the shed is observable — counted in
+// dyflow_server_degraded_sheds_total{component="journal"} with
+// dyflow_server_degraded_mode{component="journal"} held at 1 until the
+// backlog clears.
 func (s *Server) journal(kind string, v any) error {
 	if s.store == nil {
 		return nil
 	}
-	err := s.store.Append(kind, v)
-	if err != nil {
-		s.met.journalErrs.Inc()
-		s.logf("server: journal %s: %v", kind, err)
+	if s.jq == nil {
+		// No writer goroutine (store injected after construction, tests):
+		// plain synchronous append with the original semantics.
+		err := s.store.Append(kind, v)
+		if err != nil {
+			s.met.journalErrs.Inc()
+			s.logf("server: journal %s: %v", kind, err)
+		}
+		return err
 	}
-	return err
+	req := jreq{kind: kind, v: v, done: make(chan error, 1)}
+	if ok, closed := s.enqueueJournal(req); !ok {
+		if closed {
+			return nil // hard Close raced this handler; the WAL is gone
+		}
+		// Writer wedged with a full backlog: this append is lost, which is
+		// real durability loss — count it as such, not as a shed.
+		s.met.journalErrs.Inc()
+		s.logf("server: journal %s: writer backlog full; append dropped", kind)
+		s.met.degradedMode.With("journal").Set(1)
+		return nil
+	}
+	budget := s.cfg.JournalBudget
+	if budget <= 0 {
+		budget = 250 * time.Millisecond
+	}
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	select {
+	case err := <-req.done:
+		return err
+	case <-t.C:
+		s.met.degradedSheds.With("journal").Inc()
+		s.met.degradedMode.With("journal").Set(1)
+		s.logf("server: journal %s: append exceeded %s budget; shed to background", kind, budget)
+		s.jsheds.Add(1)
+		go func() {
+			<-req.done // journalWriter counted/logged any error
+			if s.jsheds.Add(-1) == 0 {
+				s.met.degradedMode.With("journal").Set(0)
+			}
+		}()
+		return nil
+	}
 }
 
 // snapshotLocked persists the full run table, superseding the journal.

@@ -50,6 +50,11 @@ type Run struct {
 	// it executes remotely ("" for local worker-pool execution).
 	Worker  string
 	LeaseID string
+	// doneLease remembers the lease under which the run reached its
+	// terminal state. It is the result POST's idempotency check: a worker
+	// retransmitting a completion whose 200 was lost matches doneLease and
+	// is acknowledged as a duplicate instead of counted stale.
+	doneLease string
 
 	SubmittedAt time.Time
 	// QueuedAt is when the run last entered the queue — SubmittedAt for

@@ -22,7 +22,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyflow/internal/exp"
@@ -70,6 +72,14 @@ type Config struct {
 	// consumer misses overwritten events — counted, never blocking the
 	// run.
 	EventBuffer int
+	// JournalBudget bounds how long an API path waits for a WAL append
+	// before shedding it to the background writer (degraded mode: the
+	// transition is acknowledged while its append completes late, counted
+	// in dyflow_server_degraded_sheds_total{component="journal"}). Append
+	// *failures* inside the budget keep their synchronous semantics —
+	// a submission whose journal write fails is still refused. 0 means
+	// 250ms.
+	JournalBudget time.Duration
 	// Logger receives operational messages — journal failures, HTTP serve
 	// errors. Nil means a stderr logger.
 	Logger *log.Logger
@@ -109,6 +119,16 @@ type Server struct {
 	workers sync.WaitGroup
 	httpSrv *http.Server
 	ln      net.Listener
+
+	// The budgeted journal writer (persist.go): appends run on jq's
+	// single writer goroutine; callers wait up to cfg.JournalBudget
+	// before shedding to degraded mode.
+	jq      chan jreq
+	jwg     sync.WaitGroup
+	jonce   sync.Once
+	jmu     sync.RWMutex // guards jclosed vs enqueues racing a hard Close
+	jclosed bool
+	jsheds  atomic.Int64 // shed appends still in flight
 
 	// beforeRun, when set (tests), runs just before a claimed run starts
 	// executing — it can block to hold the run in the running state.
@@ -167,6 +187,11 @@ func New(cfg Config) (*Server, error) {
 			s.fleet.Close()
 			return nil, fmt.Errorf("server: restore: %w", err)
 		}
+	}
+	if s.store != nil {
+		s.jq = make(chan jreq, journalQueueDepth)
+		s.jwg.Add(1)
+		go s.journalWriter()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -651,6 +676,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.queue.close()
 	s.workers.Wait()
 	s.fleet.Close()
+	s.drainJournal()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -679,6 +705,7 @@ func (s *Server) Close() {
 	s.queue.close()
 	s.workers.Wait()
 	s.fleet.Close()
+	s.drainJournal()
 }
 
 // APIError is an error with an HTTP status.
@@ -703,13 +730,24 @@ func httpError(w http.ResponseWriter, err error) {
 	http.Error(w, api.Msg, api.Code)
 }
 
+// writeJSON marshals first and writes with an explicit Content-Length so
+// failures are never silent half-truths: an encode error surfaces as a
+// clean 500 (nothing of the 2xx was written yet), and a connection torn
+// mid-body leaves the client a short read against the advertised length —
+// io.ErrUnexpectedEOF, which retrying clients treat as transient. The
+// fleet Worker and faultnet's truncation mode both rely on this.
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.logf("server: encode json response: %v", err)
+		http.Error(w, "encode response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		// The status line is gone; all we can do is not lose the signal.
+	if _, err := w.Write(data); err != nil {
 		s.logf("server: write json response: %v", err)
 	}
 }

@@ -72,7 +72,10 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	if wait > 30*time.Second {
 		wait = 30 * time.Second
 	}
-	deadline := time.Now().Add(wait)
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
 	for {
 		if id, ok := s.queue.tryPopAny(); ok {
 			if resp, ok := s.leaseRun(workerID, id); ok {
@@ -81,11 +84,26 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 			}
 			continue // that run finished at claim time (canceled/cached); try the next
 		}
-		if s.isStopping() || !time.Now().Before(deadline) || r.Context().Err() != nil {
+		if s.isStopping() {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
+		// Block on whichever comes first: the next poll tick, the long-poll
+		// window closing, the client disconnecting (a partitioned or killed
+		// worker must not pin a handler goroutine for the full window), or
+		// shutdown.
+		select {
+		case <-poll.C:
+		case <-deadline.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-s.stopped:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 	}
 }
 
@@ -158,11 +176,22 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // the upload is counted stale and ignored, which is what makes
 // completion at-most-once *observable* even though a run may execute
 // more than once.
+//
+// The lease ID doubles as the result's idempotency key: when a worker
+// retransmits a completion whose 200 was lost in flight, the run is
+// already terminal under that very lease — the retry is acknowledged
+// Accepted (Reason "duplicate") and counted in
+// dyflow_server_fleet_duplicate_results_total instead of stale.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	workerID := r.PathValue("id")
 	var req fleet.ResultRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, &APIError{Code: http.StatusBadRequest, Msg: "bad result body: " + err.Error()})
+		return
+	}
+	if s.isDuplicateResult(&req) {
+		s.met.dupResults.Inc()
+		s.writeJSON(w, http.StatusOK, fleet.ResultResponse{Accepted: true, Reason: "duplicate"})
 		return
 	}
 	if !s.fleet.Release(workerID, req.RunID, req.LeaseID) {
@@ -180,10 +209,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch {
+	case req.Requeue:
+		// The worker executed the run but could not deliver its artifacts
+		// (degraded blob plane): it hands the still-valid lease back and
+		// the run returns to the queue rather than failing.
+		s.logf("server: worker %s requeued %s: %s", workerID, req.RunID, req.Error)
+		s.resetToQueuedLocked(run, "result_upload_failed")
+		s.queue.requeue(run.Shard, run.ID)
+		s.fleet.NoteOutcome(workerID, "requeued")
+		s.writeJSON(w, http.StatusOK, fleet.ResultResponse{Accepted: true, Reason: "requeued"})
+		return
 	case req.Canceled:
+		run.doneLease = req.LeaseID
 		s.finishLocked(run, StateCanceled, errRunCanceled)
 		s.fleet.NoteOutcome(workerID, "canceled")
 	case req.Error != "":
+		run.doneLease = req.LeaseID
 		s.finishLocked(run, StateFailed, errRemote(req.Error))
 		s.fleet.NoteOutcome(workerID, "failed")
 	default:
@@ -208,10 +249,24 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if !run.StartedAt.IsZero() {
 			s.met.runSeconds.Observe(time.Since(run.StartedAt).Seconds())
 		}
+		run.doneLease = req.LeaseID
 		s.finishLocked(run, StateDone, nil)
 		s.fleet.NoteOutcome(workerID, "done")
 	}
 	s.writeJSON(w, http.StatusOK, fleet.ResultResponse{Accepted: true})
+}
+
+// isDuplicateResult reports whether this upload is a retransmission of a
+// result already applied: the run reached its terminal state under
+// exactly the lease this request carries.
+func (s *Server) isDuplicateResult(req *fleet.ResultRequest) bool {
+	if req.LeaseID == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run := s.runs[req.RunID]
+	return run != nil && run.State.Terminal() && run.doneLease == req.LeaseID
 }
 
 func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
