@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify chaos chaos-restart chaos-net bench bench-sim loadtest loadtest-fleet loadtest-stream examples
+.PHONY: build test vet race verify chaos chaos-restart chaos-net bench bench-sim bench-runstore loadtest loadtest-fleet loadtest-stream examples
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,16 @@ bench-sim:
 	$(GO) run ./cmd/benchjson < bench_sim.out > BENCH_sim.json
 	@rm bench_sim.out
 	@echo wrote BENCH_sim.json
+
+# Run-history store benchmarks (docs/SERVICE.md, "Querying run history"):
+# ingest rate, indexed filtered-query latency over a 100k-run population,
+# and compaction throughput — appends/s, queries/s, records/s land in
+# BENCH_runstore.json for the CI artifact.
+bench-runstore:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/runstore/ | tee bench_runstore.out
+	$(GO) run ./cmd/benchjson < bench_runstore.out > BENCH_runstore.json
+	@rm bench_runstore.out
+	@echo wrote BENCH_runstore.json
 
 # Closed-loop load test of the campaign service (docs/SERVICE.md): an
 # embedded dyflow-serve under the race detector, 8 clients over 4 tenants,

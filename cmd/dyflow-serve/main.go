@@ -3,6 +3,9 @@
 //
 //	dyflow-serve [-addr host:port] [-workers N] [-queue-depth N]
 //	             [-tenant-quota N] [-ckpt-dir DIR] [-lease-ttl D]
+//	             [-runstore-segment-bytes N] [-snapshot-journal-bytes N]
+//	             [-retention-max-age D] [-retention-max-bytes N]
+//	             [-retention-interval D]
 //	dyflow-serve worker -join host:port [-name S] [-slots N]
 //	dyflow-serve loadtest [-addr host:port] [-clients N] [-per-client N]
 //	             [-seeds N] [-scenario S] [-out BENCH_serve.json]
@@ -93,15 +96,25 @@ func serve(args []string) error {
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory: persist the queue and completed runs across restarts")
 	leaseTTL := fs.Duration("lease-ttl", 0, "fleet lease TTL before an unheartbeated run is requeued (0 = 10s)")
 	eventBuffer := fs.Int("event-buffer", 0, "per-run event ring size for GET /v1/runs/{id}/events (0 = 256)")
+	segBytes := fs.Int64("runstore-segment-bytes", 0, "run-history segment rotation threshold in bytes (0 = 4MiB)")
+	snapBytes := fs.Int64("snapshot-journal-bytes", 0, "WAL size that triggers a snapshot+journal reset (0 = 4MiB, negative = off)")
+	retMaxAge := fs.Duration("retention-max-age", 0, "delete terminal runs older than this from the history store (0 = keep forever)")
+	retMaxBytes := fs.Int64("retention-max-bytes", 0, "per-tenant artifact byte budget; oldest terminal runs beyond it are deleted (0 = unlimited)")
+	retInterval := fs.Duration("retention-interval", 0, "how often the retention sweep runs (0 = 1m)")
 	fs.Parse(args)
 
 	srv, err := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		TenantQuota: *tenantQuota,
-		CkptDir:     *ckptDir,
-		LeaseTTL:    *leaseTTL,
-		EventBuffer: *eventBuffer,
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		TenantQuota:          *tenantQuota,
+		CkptDir:              *ckptDir,
+		LeaseTTL:             *leaseTTL,
+		EventBuffer:          *eventBuffer,
+		RunstoreSegmentBytes: *segBytes,
+		SnapshotJournalBytes: *snapBytes,
+		RetentionMaxAge:      *retMaxAge,
+		RetentionMaxBytes:    *retMaxBytes,
+		RetentionInterval:    *retInterval,
 	})
 	if err != nil {
 		return err

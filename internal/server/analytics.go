@@ -3,14 +3,19 @@ package server
 import (
 	"math"
 	"sort"
+	"time"
+
+	"dyflow/internal/runstore"
 )
 
-// GET /v1/analytics — cross-campaign aggregates computed over the run
-// table: per-tenant and per-scenario counts and outcomes, queue-wait
-// vs execution latency percentiles from the per-run phase timestamps,
-// cache hit rates, and the lease-expiry/requeue counters. This is the
-// first increment of the ROADMAP run-history item: the table is still
-// the in-memory one (plus the WAL), but the query side exists.
+// GET /v1/analytics — cross-campaign aggregates computed over the full
+// run history: per-tenant and per-scenario counts and outcomes,
+// queue-wait vs execution latency percentiles from the per-run phase
+// timestamps, cache hit rates, the lease-expiry/requeue counters, and
+// (on request) time-bucketed submission trends. Terminal runs are
+// evicted from the resident table into the runstore segments, so the
+// aggregate folds history metas first and overlays the resident
+// (live) runs on top.
 
 // LatencySummary is a nearest-rank percentile summary over a sample
 // set, in seconds.
@@ -56,55 +61,84 @@ type Analytics struct {
 
 	Tenants   []GroupAnalytics `json:"tenants"`
 	Scenarios []GroupAnalytics `json:"scenarios"`
+
+	// Trends is the time-bucketed submission view, present when the
+	// request asked for one (?trend_bucket=1h&trend_buckets=24).
+	TrendBucketSeconds float64       `json:"trend_bucket_s,omitempty"`
+	Trends             []TrendBucket `json:"trends,omitempty"`
 }
 
-// Analytics computes the cross-campaign aggregate view.
+// TrendBucket aggregates the runs submitted within one time bucket.
+type TrendBucket struct {
+	Start     time.Time        `json:"start"`
+	Runs      int              `json:"runs"`
+	ByState   map[RunState]int `json:"by_state"`
+	CacheHits int              `json:"cache_hits"`
+	Execution LatencySummary   `json:"execution"`
+}
+
+// maxTrendBuckets bounds one trends response.
+const maxTrendBuckets = 500
+
+// runSample is the per-run tuple the aggregates fold over — built from
+// a resident *Run or an evicted history Meta, whichever is live.
+type runSample struct {
+	tenant, scenario string
+	state            RunState
+	cached           bool
+	submittedNs      int64
+	qw, ex           float64 // seconds; -1 when the phase never happened
+}
+
+// Analytics computes the cross-campaign aggregate view without trends.
 func (s *Server) Analytics() Analytics {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.AnalyticsWithTrends(0, 0)
+}
+
+// AnalyticsWithTrends additionally buckets submissions into bucket-wide
+// trend windows (bucket <= 0 disables trends; buckets caps how many of
+// the most recent windows are returned, maxTrendBuckets when <= 0).
+func (s *Server) AnalyticsWithTrends(bucket time.Duration, buckets int) Analytics {
+	samples := s.analyticsSamples()
 
 	a := Analytics{ByState: map[RunState]int{}}
 	var queueWaits, execTimes []float64
 	tenants := map[string]*groupAcc{}
 	scenarios := map[string]*groupAcc{}
 
-	accumulate := func(m map[string]*groupAcc, key string, r *Run, qw, ex float64) {
+	accumulate := func(m map[string]*groupAcc, key string, sm runSample) {
 		g := m[key]
 		if g == nil {
 			g = &groupAcc{byState: map[RunState]int{}}
 			m[key] = g
 		}
 		g.runs++
-		g.byState[r.State]++
-		if r.Cached {
+		g.byState[sm.state]++
+		if sm.cached {
 			g.cacheHits++
 		}
-		if qw >= 0 {
-			g.queueWaits = append(g.queueWaits, qw)
+		if sm.qw >= 0 {
+			g.queueWaits = append(g.queueWaits, sm.qw)
 		}
-		if ex >= 0 {
-			g.execTimes = append(g.execTimes, ex)
+		if sm.ex >= 0 {
+			g.execTimes = append(g.execTimes, sm.ex)
 		}
 	}
 
-	for _, id := range s.order {
-		r := s.runs[id]
+	for _, sm := range samples {
 		a.Runs++
-		a.ByState[r.State]++
-		if r.Cached {
+		a.ByState[sm.state]++
+		if sm.cached {
 			a.CacheHits++
 		}
-		var qw, ex float64 = -1, -1
-		if !r.ClaimedAt.IsZero() && !r.QueuedAt.IsZero() {
-			qw = r.ClaimedAt.Sub(r.QueuedAt).Seconds()
-			queueWaits = append(queueWaits, qw)
+		if sm.qw >= 0 {
+			queueWaits = append(queueWaits, sm.qw)
 		}
-		if !r.FinishedAt.IsZero() && !r.StartedAt.IsZero() {
-			ex = r.FinishedAt.Sub(r.StartedAt).Seconds()
-			execTimes = append(execTimes, ex)
+		if sm.ex >= 0 {
+			execTimes = append(execTimes, sm.ex)
 		}
-		accumulate(tenants, r.Tenant, r, qw, ex)
-		accumulate(scenarios, r.Job.Scenario, r, qw, ex)
+		accumulate(tenants, sm.tenant, sm)
+		accumulate(scenarios, sm.scenario, sm)
 	}
 
 	if a.Runs > 0 {
@@ -120,7 +154,122 @@ func (s *Server) Analytics() Analytics {
 	}
 	a.Tenants = renderGroups(tenants)
 	a.Scenarios = renderGroups(scenarios)
+	if bucket > 0 {
+		a.TrendBucketSeconds = bucket.Seconds()
+		a.Trends = trendBuckets(samples, bucket, buckets)
+	}
 	return a
+}
+
+// analyticsSamples folds the full run population into flat samples:
+// resident runs (live state) first, then history metas for everything
+// already evicted. Resident runs also have history records; the
+// resident copy wins.
+func (s *Server) analyticsSamples() []runSample {
+	s.mu.Lock()
+	samples := make([]runSample, 0, len(s.order))
+	resident := make(map[string]bool, len(s.order))
+	for _, id := range s.order {
+		r := s.runs[id]
+		resident[id] = true
+		sm := runSample{
+			tenant: r.Tenant, scenario: r.Job.Scenario,
+			state: r.State, cached: r.Cached,
+			submittedNs: unixNs(r.SubmittedAt), qw: -1, ex: -1,
+		}
+		if !r.ClaimedAt.IsZero() && !r.QueuedAt.IsZero() {
+			sm.qw = r.ClaimedAt.Sub(r.QueuedAt).Seconds()
+		}
+		if !r.FinishedAt.IsZero() && !r.StartedAt.IsZero() {
+			sm.ex = r.FinishedAt.Sub(r.StartedAt).Seconds()
+		}
+		samples = append(samples, sm)
+	}
+	s.mu.Unlock()
+
+	if s.history != nil {
+		s.history.EachMeta(func(m runstore.Meta) bool {
+			if resident[m.ID] {
+				return true
+			}
+			sm := runSample{
+				tenant: m.Tenant, scenario: m.Scenario,
+				state: RunState(m.State), cached: m.Cached,
+				submittedNs: m.SubmittedAtNs, qw: -1, ex: -1,
+			}
+			if m.ClaimedAtNs > 0 && m.QueuedAtNs > 0 {
+				sm.qw = time.Duration(m.ClaimedAtNs - m.QueuedAtNs).Seconds()
+			}
+			if m.FinishedAtNs > 0 && m.StartedAtNs > 0 {
+				sm.ex = time.Duration(m.FinishedAtNs - m.StartedAtNs).Seconds()
+			}
+			samples = append(samples, sm)
+			return true
+		})
+	}
+	return samples
+}
+
+// trendBuckets groups samples into bucket-aligned windows by submission
+// time, returning the most recent `limit` non-empty-range windows.
+func trendBuckets(samples []runSample, bucket time.Duration, limit int) []TrendBucket {
+	if limit <= 0 || limit > maxTrendBuckets {
+		limit = maxTrendBuckets
+	}
+	bNs := bucket.Nanoseconds()
+	var minNs, maxNs int64
+	seen := false
+	for _, sm := range samples {
+		if sm.submittedNs == 0 {
+			continue
+		}
+		if !seen || sm.submittedNs < minNs {
+			minNs = sm.submittedNs
+		}
+		if !seen || sm.submittedNs > maxNs {
+			maxNs = sm.submittedNs
+		}
+		seen = true
+	}
+	if !seen {
+		return nil
+	}
+	start := (minNs / bNs) * bNs
+	n := int((maxNs-start)/bNs) + 1
+	first := 0
+	if n > limit {
+		first = n - limit
+		n = limit
+	}
+	out := make([]TrendBucket, n)
+	var execs [][]float64 = make([][]float64, n)
+	for i := range out {
+		out[i] = TrendBucket{
+			Start:   time.Unix(0, start+int64(first+i)*bNs),
+			ByState: map[RunState]int{},
+		}
+	}
+	for _, sm := range samples {
+		if sm.submittedNs == 0 {
+			continue
+		}
+		i := int((sm.submittedNs-start)/bNs) - first
+		if i < 0 || i >= n {
+			continue // older than the returned window
+		}
+		out[i].Runs++
+		out[i].ByState[sm.state]++
+		if sm.cached {
+			out[i].CacheHits++
+		}
+		if sm.ex >= 0 {
+			execs[i] = append(execs[i], sm.ex)
+		}
+	}
+	for i := range out {
+		out[i].Execution = summarize(execs[i])
+	}
+	return out
 }
 
 type groupAcc struct {

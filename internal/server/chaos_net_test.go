@@ -89,14 +89,20 @@ func TestFaultResultRetransmitDeduplicated(t *testing.T) {
 		t.Fatalf("run ended %s: %s", st.State, st.Error)
 	}
 
-	// The lease the run completed under, as handleResult recorded it.
+	// The lease the run completed under. The terminal run has been
+	// evicted to the history store, so the (run, lease) pair lives in
+	// the recentDone dedup window handleResult consults.
 	s.mu.Lock()
-	run := s.runs[st.ID]
-	doneLease, workerID := run.doneLease, run.Worker
+	doneLease := s.recentDone[st.ID]
 	s.mu.Unlock()
 	if doneLease == "" {
 		t.Fatal("terminal run recorded no completing lease")
 	}
+	workers := s.fleet.Workers()
+	if len(workers) != 1 {
+		t.Fatalf("fleet has %d workers, want 1", len(workers))
+	}
+	workerID := workers[0].ID
 
 	// Retransmit the completion as the worker's retry loop would.
 	var res fleet.ResultResponse

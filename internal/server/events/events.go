@@ -164,6 +164,30 @@ func (j *Journal) Append(run string, ev Event) Event {
 	return ev
 }
 
+// Len returns how many events a run's ring currently retains (0 when
+// the run has no ring). The server uses it to decide whether a
+// history-evicted run still needs a synthesized terminal event.
+func (j *Journal) Len(run string) int {
+	j.mu.Lock()
+	l := j.runs[run]
+	j.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Drop discards a run's ring (no-op when absent). Live subscribers keep
+// their *runLog reference and simply see no further events; the server
+// calls this when a terminal run ages out of the retained-ring window.
+func (j *Journal) Drop(run string) {
+	j.mu.Lock()
+	delete(j.runs, run)
+	j.mu.Unlock()
+}
+
 // Sub is one cursor-based subscription to a run's journal.
 type Sub struct {
 	j      *Journal

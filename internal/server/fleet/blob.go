@@ -177,6 +177,25 @@ func (b *BlobStore) Has(digest string) bool {
 	return err == nil
 }
 
+// Size returns a blob's stored byte size (0 when absent) — the run
+// store's per-tenant retention accounting reads it at record time.
+func (b *BlobStore) Size(digest string) int64 {
+	b.mu.Lock()
+	data, ok := b.mem[digest]
+	b.mu.Unlock()
+	if ok {
+		return int64(len(data))
+	}
+	if b.dir == "" || len(digest) < 2 {
+		return 0
+	}
+	fi, err := os.Stat(b.path(digest))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
 // Len returns the number of in-memory blobs (tests).
 func (b *BlobStore) Len() int {
 	b.mu.Lock()

@@ -101,6 +101,14 @@ type Result struct {
 	StreamP90      float64 `json:"stream_latency_p90_s,omitempty"`
 	StreamMax      float64 `json:"stream_latency_max_s,omitempty"`
 
+	// History-plane verification: after the drive, the generator pages
+	// through GET /v1/runs (cursor pagination) and records how many runs
+	// the history reported and how many pages it took — a load test that
+	// finishes with HistoryRuns == 0 exercised submissions but proves
+	// nothing about the queryable run history.
+	HistoryRuns  int `json:"history_runs,omitempty"`
+	HistoryPages int `json:"history_pages,omitempty"`
+
 	// Fleet-mode fields, scraped from the coordinator's /metrics.json.
 	Mode          string  `json:"mode"`
 	FleetWorkers  int     `json:"fleet_workers,omitempty"`
@@ -208,6 +216,9 @@ func Run(o Options) (*Result, error) {
 		stopFleet()
 		g.scrapeFleetMetrics()
 	}
+	if err := g.verifyHistory(); err != nil {
+		return res, err
+	}
 	if res.Errors > 0 {
 		return res, fmt.Errorf("loadgen: %d of %d jobs failed", res.Errors, res.Jobs)
 	}
@@ -310,6 +321,53 @@ func (g *gen) scrapeFleetMetrics() {
 	g.res.FleetClaims = sum("dyflow_server_fleet_claims_total")
 	g.res.LeaseExpiries = sum("dyflow_server_fleet_lease_expiries_total")
 	g.res.StaleResults = sum("dyflow_server_fleet_stale_results_total")
+}
+
+// verifyHistory pages through the coordinator's run history with cursor
+// pagination and checks the totals line up: every page under the limit,
+// no run listed twice, and at least every distinct completed job present.
+func (g *gen) verifyHistory() error {
+	const limit = 50
+	seen := map[string]bool{}
+	pages := 0
+	token := ""
+	for {
+		path := fmt.Sprintf("/v1/runs?limit=%d", limit)
+		if token != "" {
+			path += "&page_token=" + token
+		}
+		data, err := g.get(path)
+		if err != nil {
+			return fmt.Errorf("loadgen: history page %d: %w", pages, err)
+		}
+		var page server.RunPage
+		if err := json.Unmarshal(data, &page); err != nil {
+			return fmt.Errorf("loadgen: history page %d: %w", pages, err)
+		}
+		pages++
+		if len(page.Runs) > limit {
+			return fmt.Errorf("loadgen: history page %d has %d runs, over the %d limit", pages, len(page.Runs), limit)
+		}
+		for _, st := range page.Runs {
+			if seen[st.ID] {
+				return fmt.Errorf("loadgen: run %s listed twice across history pages", st.ID)
+			}
+			seen[st.ID] = true
+		}
+		token = page.NextPageToken
+		if token == "" {
+			break
+		}
+	}
+	g.mu.Lock()
+	g.res.HistoryRuns = len(seen)
+	g.res.HistoryPages = pages
+	completed := g.res.Completed
+	g.mu.Unlock()
+	if len(seen) == 0 && completed > 0 {
+		return fmt.Errorf("loadgen: %d jobs completed but the run history listed none", completed)
+	}
+	return nil
 }
 
 // runClient is one closed-loop client: submit, await, fetch, repeat.

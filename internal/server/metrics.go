@@ -26,6 +26,9 @@ type metrics struct {
 	degradedMode  *obs.GaugeVec   // {component} 1 while degraded
 	degradedSheds *obs.CounterVec // {component} operations shed to a degraded path
 	dupResults    *obs.Counter    // retransmitted results deduplicated by lease ID
+
+	snapshots *obs.CounterVec // {reason} snapshot+journal-reset cycles
+	gcBlobs   *obs.Counter    // blobs swept by retention GC
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -58,5 +61,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Operations shed to a degraded path instead of blocking the API.", "component"),
 		dupResults: reg.Counter("dyflow_server_fleet_duplicate_results_total",
 			"Result uploads retransmitted after a lost acknowledgement, deduplicated by lease ID.").With(),
+		snapshots: reg.Counter("dyflow_server_snapshot_total",
+			"Snapshot+journal-reset cycles by trigger (restore, shutdown, journal_size).", "reason"),
+		gcBlobs: reg.Counter("dyflow_runstore_gc_blobs_total",
+			"Artifact blobs swept because no live history record references them.").With(),
 	}
 }

@@ -3,12 +3,15 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"dyflow/internal/ckpt"
 	"dyflow/internal/exp"
-	"dyflow/internal/server/events"
+	"dyflow/internal/runstore"
 )
 
 // Persistence: the service journals every acknowledged state transition
@@ -36,6 +39,7 @@ type journalStore interface {
 	SaveSnapshot(blob []byte) error
 	LoadSnapshot() ([]byte, error)
 	Replay(fn func(rec ckpt.Record) error) error
+	JournalSize() int64
 }
 
 // persistedRun is a Run's durable form. ArtifactRefs are blob digests,
@@ -49,6 +53,7 @@ type persistedRun struct {
 	Err          string            `json:"error,omitempty"`
 	Converged    bool              `json:"converged,omitempty"`
 	SimEndNs     int64             `json:"sim_end_ns,omitempty"`
+	Worker       string            `json:"worker,omitempty"`
 	ArtifactRefs map[string]string `json:"artifact_refs,omitempty"`
 	SubmittedAt  time.Time         `json:"submitted_at"`
 	QueuedAt     time.Time         `json:"queued_at,omitempty"`
@@ -73,6 +78,7 @@ func (r *Run) persisted() persistedRun {
 		Err:          r.Err,
 		Converged:    r.Converged,
 		SimEndNs:     int64(r.SimEnd),
+		Worker:       r.Worker,
 		ArtifactRefs: r.Artifacts,
 		SubmittedAt:  r.SubmittedAt,
 		QueuedAt:     r.QueuedAt,
@@ -93,6 +99,7 @@ func (s *Server) applyPersisted(p persistedRun) *Run {
 		Err:         p.Err,
 		Converged:   p.Converged,
 		SimEnd:      time.Duration(p.SimEndNs),
+		Worker:      p.Worker,
 		Artifacts:   p.ArtifactRefs,
 		SubmittedAt: p.SubmittedAt,
 		QueuedAt:    p.QueuedAt,
@@ -130,6 +137,48 @@ func (s *Server) journalWriter() {
 			s.logf("server: journal %s: %v", req.kind, err)
 		}
 		req.done <- err
+		// Size-triggered snapshot+reset runs here, between appends on the
+		// sole appender goroutine: SaveSnapshot truncates the journal file
+		// in place, which must never interleave with a concurrent append
+		// (the appended record would land before the fresh header and
+		// corrupt replay). req.done is buffered, so the caller already has
+		// its result and releases s.mu shortly; acquiring it here cannot
+		// deadlock.
+		if err == nil {
+			s.maybeSnapshotBySize()
+		}
+	}
+}
+
+// defaultSnapshotJournalBytes is the WAL size past which a snapshot
+// resets it when Config.SnapshotJournalBytes is 0.
+const defaultSnapshotJournalBytes = 4 << 20
+
+// snapshotThreshold resolves the size trigger (0 = disabled).
+func (s *Server) snapshotThreshold() int64 {
+	if s.cfg.SnapshotJournalBytes < 0 {
+		return 0
+	}
+	if s.cfg.SnapshotJournalBytes == 0 {
+		return defaultSnapshotJournalBytes
+	}
+	return s.cfg.SnapshotJournalBytes
+}
+
+// maybeSnapshotBySize snapshots once the journal passes the threshold,
+// bounding WAL growth between graceful shutdowns. Called without s.mu.
+func (s *Server) maybeSnapshotBySize() {
+	thr := s.snapshotThreshold()
+	if thr == 0 || s.store == nil || s.store.JournalSize() < thr {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return // the shutdown snapshot is about to supersede this one
+	}
+	if err := s.snapshotLocked("journal_size"); err != nil {
+		s.logf("server: size-triggered snapshot: %v", err)
 	}
 }
 
@@ -182,13 +231,21 @@ func (s *Server) journal(kind string, v any) error {
 	}
 	if s.jq == nil {
 		// No writer goroutine (store injected after construction, tests):
-		// plain synchronous append with the original semantics.
+		// plain synchronous append with the original semantics. The caller
+		// holds s.mu, so the size-triggered snapshot can run inline — no
+		// concurrent appender exists to race the journal reset.
 		err := s.store.Append(kind, v)
 		if err != nil {
 			s.met.journalErrs.Inc()
 			s.logf("server: journal %s: %v", kind, err)
+			return err
 		}
-		return err
+		if thr := s.snapshotThreshold(); thr > 0 && !s.stopping && s.store.JournalSize() >= thr {
+			if serr := s.snapshotLocked("journal_size"); serr != nil {
+				s.logf("server: size-triggered snapshot: %v", serr)
+			}
+		}
+		return nil
 	}
 	req := jreq{kind: kind, v: v, done: make(chan error, 1)}
 	if ok, closed := s.enqueueJournal(req); !ok {
@@ -226,9 +283,11 @@ func (s *Server) journal(kind string, v any) error {
 	}
 }
 
-// snapshotLocked persists the full run table, superseding the journal.
-// Caller holds the server mutex.
-func (s *Server) snapshotLocked() error {
+// snapshotLocked persists the resident run table (terminal runs live in
+// the runstore segments, so the snapshot stays small), superseding the
+// journal. Successful cycles are counted per trigger reason in
+// dyflow_server_snapshot_total. Caller holds the server mutex.
+func (s *Server) snapshotLocked(reason string) error {
 	if s.store == nil {
 		return nil
 	}
@@ -240,7 +299,11 @@ func (s *Server) snapshotLocked() error {
 	if err != nil {
 		return err
 	}
-	return s.store.SaveSnapshot(blob)
+	if err := s.store.SaveSnapshot(blob); err != nil {
+		return err
+	}
+	s.met.snapshots.With(reason).Inc()
+	return nil
 }
 
 // restore rebuilds the run table from the snapshot plus the journal tail,
@@ -268,6 +331,31 @@ func (s *Server) restore(dir string) error {
 	}
 	s.store = store
 
+	// The run-history store recovers first: its segments hold every
+	// evicted terminal run (the WAL snapshot only carries resident ones),
+	// and recovery itself handles whatever a crash left mid-rotation or
+	// mid-compaction.
+	s.history, err = runstore.Open(runstore.Options{
+		Dir:          filepath.Join(dir, "runs"),
+		SegmentBytes: s.cfg.RunstoreSegmentBytes,
+		Metrics:      s.reg,
+		Logger:       s.logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Track the highest run ID seen anywhere — snapshot, WAL, history
+	// segments — so restarted ID allocation never collides with an
+	// evicted run.
+	maxID := -1
+	noteID := func(id string) {
+		var n int
+		if _, err := fmt.Sscanf(id, "run-%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+
 	blob, err := store.LoadSnapshot()
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
@@ -282,6 +370,7 @@ func (s *Server) restore(dir string) error {
 			r := s.applyPersisted(p)
 			s.runs[r.ID] = r
 			s.order = append(s.order, r.ID)
+			noteID(r.ID)
 		}
 	}
 	err = store.Replay(func(rec ckpt.Record) error {
@@ -291,7 +380,13 @@ func (s *Server) restore(dir string) error {
 			if err := json.Unmarshal(rec.Data, &p); err != nil {
 				return err
 			}
+			noteID(p.ID)
 			if _, dup := s.runs[p.ID]; dup {
+				return nil
+			}
+			if m, ok := s.history.GetMeta(p.ID); ok && m.Terminal {
+				// Already evicted to the history store with a terminal
+				// record — it does not need a resident entry again.
 				return nil
 			}
 			r := s.applyPersisted(p)
@@ -312,6 +407,9 @@ func (s *Server) restore(dir string) error {
 			r.SimEnd = time.Duration(p.SimEndNs)
 			r.simNow.Store(p.SimEndNs)
 			r.FinishedAt = p.FinishedAt
+			if p.Worker != "" {
+				r.Worker = p.Worker
+			}
 			if p.ArtifactRefs != nil {
 				r.Artifacts = p.ArtifactRefs
 			}
@@ -322,21 +420,57 @@ func (s *Server) restore(dir string) error {
 		return err
 	}
 
-	// Index completed runs for the cache, then give cached runs persisted
+	// Collect the history store's metas once: ID continuity, the cache
+	// rebuild, and orphan detection all walk them. The callback must not
+	// take s.mu (lock order), so it only copies.
+	var histMetas []runstore.Meta
+	s.history.EachMeta(func(m runstore.Meta) bool {
+		histMetas = append(histMetas, m)
+		return true
+	})
+	for _, m := range histMetas {
+		noteID(m.ID)
+	}
+	resolvableRefs := func(refs map[string]string) bool {
+		if len(refs) == 0 {
+			return false
+		}
+		for _, digest := range refs {
+			if !s.blobs.Has(digest) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Index completed runs for the cache — resident first (live status
+	// wins), then evicted history runs — then give cached runs persisted
 	// before the reference scheme (no refs of their own) their references
 	// back from the run they duplicated.
 	for _, id := range s.order {
 		r := s.runs[id]
 		if r.State == StateDone && !r.Cached && s.refsResolvable(r) {
 			if _, have := s.cache[r.Job.Key()]; !have {
-				s.cache[r.Job.Key()] = r
+				s.cache[r.Job.Key()] = cacheEntryFor(r)
 			}
+		}
+	}
+	for _, m := range histMetas {
+		if m.State != string(StateDone) || m.Cached || m.Key == "" || s.runs[m.ID] != nil {
+			continue
+		}
+		if _, have := s.cache[m.Key]; have || !resolvableRefs(m.Artifacts) {
+			continue
+		}
+		s.cache[m.Key] = cacheEntry{
+			RunID: m.ID, Converged: m.Converged,
+			SimEnd: time.Duration(m.SimEndNs), Artifacts: m.Artifacts,
 		}
 	}
 	for _, id := range s.order {
 		r := s.runs[id]
 		if r.Cached && r.Artifacts == nil {
-			if src := s.cache[r.Job.Key()]; src != nil {
+			if src, ok := s.cache[r.Job.Key()]; ok {
 				r.Artifacts = src.Artifacts
 			}
 		}
@@ -347,15 +481,51 @@ func (s *Server) restore(dir string) error {
 	// donor to re-link from), or a run whose blob files went missing.
 	// They re-execute (or hit the cache when the source re-completes)
 	// rather than sit "done" with artifact 404s.
+	demote := func(r *Run) {
+		r.State = StateQueued
+		r.Cached = false
+		r.Artifacts = nil
+		r.Converged = false
+		r.SimEnd = 0
+		r.FinishedAt = time.Time{}
+	}
 	for _, id := range s.order {
 		r := s.runs[id]
 		if r.State == StateDone && !s.refsResolvable(r) {
-			r.State = StateQueued
-			r.Cached = false
-			r.Artifacts = nil
-			r.Converged = false
-			r.SimEnd = 0
-			r.FinishedAt = time.Time{}
+			demote(r)
+		}
+	}
+	// The same rule for history-only done runs: if their blobs are gone,
+	// resurrect them as resident queued runs so they re-execute instead
+	// of serving artifact 404s forever.
+	for _, m := range histMetas {
+		if m.State != string(StateDone) || s.runs[m.ID] != nil || resolvableRefs(m.Artifacts) {
+			continue
+		}
+		p, ok := s.historyPersistedLocked(m.ID)
+		if !ok {
+			continue
+		}
+		r := s.applyPersisted(p)
+		demote(r)
+		s.runs[r.ID] = r
+		s.order = append(s.order, r.ID)
+	}
+	sort.Strings(s.order) // resurrections append out of submission order
+
+	// Terminal resident runs move to the history store and leave the
+	// resident map — the bounded-heap invariant holds from boot. Evicted
+	// runs' terminal events are synthesized lazily at subscribe time
+	// (stream.go), replacing the eager restore-time republication.
+	for _, id := range append([]string(nil), s.order...) {
+		r := s.runs[id]
+		if r == nil || !r.State.Terminal() {
+			continue
+		}
+		if m, ok := s.history.GetMeta(id); ok && m.Terminal && m.State == string(r.State) {
+			s.evictTerminalLocked(r) // already recorded by the previous process
+		} else if s.historyAppendLocked(r) {
+			s.evictTerminalLocked(r)
 		}
 	}
 
@@ -367,16 +537,7 @@ func (s *Server) restore(dir string) error {
 	for _, id := range s.order {
 		r := s.runs[id]
 		if r.State.Terminal() {
-			// Re-publish the terminal event into the fresh (empty) journal:
-			// a client reconnecting across the restart with a stale
-			// Last-Event-ID must still receive it.
-			ev := events.Event{Type: terminalEventType(r.State), Reason: "restore",
-				At: r.FinishedAt, Cached: r.Cached, Converged: r.Converged, Error: r.Err}
-			if r.State == StateDone {
-				ev.SimSeconds = r.SimEnd.Seconds()
-			}
-			s.events.Append(id, ev)
-			continue
+			continue // history append failed; it stays resident as-is
 		}
 		s.resetToQueuedLocked(r, "restore")
 		s.inflight[r.Tenant]++
@@ -384,15 +545,16 @@ func (s *Server) restore(dir string) error {
 		s.met.requeued.Inc()
 	}
 
-	if s.nextID < len(s.order) {
-		s.nextID = len(s.order)
+	if s.nextID < maxID+1 {
+		s.nextID = maxID + 1
 	}
-	if err := s.snapshotLocked(); err != nil {
+	if err := s.snapshotLocked("restore"); err != nil {
 		return err
 	}
 
-	// Compact the blob store to what the restored run table references.
-	keep := map[string]bool{}
+	// Compact the blob store to what the restored state references —
+	// resident runs plus every live history record.
+	keep := s.history.Digests()
 	for _, r := range s.runs {
 		for _, digest := range r.Artifacts {
 			keep[digest] = true

@@ -212,6 +212,7 @@ func (f *flakyJournal) Append(kind string, v any) error {
 	return nil
 }
 func (f *flakyJournal) SaveSnapshot([]byte) error            { return nil }
+func (f *flakyJournal) JournalSize() int64                   { return 0 }
 func (f *flakyJournal) LoadSnapshot() ([]byte, error)        { return nil, os.ErrNotExist }
 func (f *flakyJournal) Replay(func(ckpt.Record) error) error { return nil }
 

@@ -29,6 +29,7 @@ import (
 
 	"dyflow/internal/exp"
 	"dyflow/internal/obs"
+	"dyflow/internal/runstore"
 	"dyflow/internal/server/events"
 	"dyflow/internal/server/fleet"
 	"dyflow/internal/sim"
@@ -86,6 +87,23 @@ type Config struct {
 	// Metrics receives the dyflow_server_* families. Nil means a private
 	// registry (reachable via Registry()).
 	Metrics *obs.Registry
+	// RunstoreSegmentBytes is the run-history store's segment rotation
+	// threshold (0 = runstore.DefaultSegmentBytes).
+	RunstoreSegmentBytes int64
+	// SnapshotJournalBytes triggers a snapshot+journal-reset once the WAL
+	// passes this size, bounding journal growth between graceful
+	// shutdowns (0 = 4 MiB; negative = size-triggered snapshots off).
+	SnapshotJournalBytes int64
+	// RetentionMaxAge deletes terminal runs from the history store once
+	// their FinishedAt is older than this (0 = keep forever).
+	RetentionMaxAge time.Duration
+	// RetentionMaxBytes bounds one tenant's total artifact bytes in the
+	// history store; oldest-finished terminal runs are deleted until the
+	// tenant fits (0 = unlimited).
+	RetentionMaxBytes int64
+	// RetentionInterval is the background retention sweep cadence when a
+	// policy is set (0 = 1 minute).
+	RetentionInterval time.Duration
 }
 
 // Server is the campaign service's coordinator: admission, quotas, the
@@ -104,19 +122,37 @@ type Server struct {
 	events *events.Journal
 	logger *log.Logger
 
+	// history is the durable, indexed run store (internal/runstore):
+	// every state transition is appended, terminal runs are evicted from
+	// the resident map once recorded, and list/filter queries serve from
+	// its indexes. Memory-only when persistence is off (same API). Lock
+	// order: s.mu may be held while calling into history, never the
+	// reverse (EachMeta callbacks must not touch s.mu).
+	history *runstore.Store
+
 	// stopped closes when shutdown begins, waking SSE streams so they
 	// end instead of pinning http.Server.Shutdown to its deadline.
 	stopped chan struct{}
 
 	mu       sync.Mutex
-	runs     map[string]*Run
-	order    []string // run IDs in submission order
+	runs     map[string]*Run // resident runs: non-terminal + terminal not yet in history
+	order    []string        // resident run IDs in submission order
 	nextID   int
-	cache    map[string]*Run // job key → first completed run
-	inflight map[string]int  // tenant → queued+running runs
+	cache    map[string]cacheEntry // job key → first completed run's result
+	inflight map[string]int        // tenant → queued+running runs
 	stopping bool
+	// recentDone remembers evicted runs' terminal lease IDs (run ID →
+	// lease ID, FIFO-bounded) so a fleet worker retransmitting a result
+	// after its run left the resident map still deduplicates.
+	recentDone  map[string]string
+	recentDoneQ []string
+	// doneRings tracks which evicted terminal runs still hold their SSE
+	// event rings (FIFO-bounded; older rings drop and reconnecting
+	// clients get a synthesized terminal event from history instead).
+	doneRings []string
 
 	workers sync.WaitGroup
+	retWg   sync.WaitGroup // background retention sweeper
 	httpSrv *http.Server
 	ln      net.Listener
 
@@ -161,16 +197,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	met := newMetrics(reg)
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		met:      met,
-		logger:   logger,
-		queue:    newShardedQueue(shards, cfg.QueueDepth, met.queueDepth),
-		events:   events.NewJournal(cfg.EventBuffer, reg),
-		stopped:  make(chan struct{}),
-		runs:     map[string]*Run{},
-		cache:    map[string]*Run{},
-		inflight: map[string]int{},
+		cfg:        cfg,
+		reg:        reg,
+		met:        met,
+		logger:     logger,
+		queue:      newShardedQueue(shards, cfg.QueueDepth, met.queueDepth),
+		events:     events.NewJournal(cfg.EventBuffer, reg),
+		stopped:    make(chan struct{}),
+		runs:       map[string]*Run{},
+		cache:      map[string]cacheEntry{},
+		inflight:   map[string]int{},
+		recentDone: map[string]string{},
 	}
 	blobDir := ""
 	if cfg.CkptDir != "" {
@@ -187,6 +224,16 @@ func New(cfg Config) (*Server, error) {
 			s.fleet.Close()
 			return nil, fmt.Errorf("server: restore: %w", err)
 		}
+	} else {
+		// No persistence: the history store runs memory-only so eviction,
+		// filtered listing, and analytics behave identically.
+		s.history, err = runstore.Open(runstore.Options{
+			SegmentBytes: cfg.RunstoreSegmentBytes, Metrics: reg, Logger: logger,
+		})
+		if err != nil {
+			s.fleet.Close()
+			return nil, fmt.Errorf("server: run store: %w", err)
+		}
 	}
 	if s.store != nil {
 		s.jq = make(chan jreq, journalQueueDepth)
@@ -196,6 +243,14 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker(i)
+	}
+	if cfg.RetentionMaxAge > 0 || cfg.RetentionMaxBytes > 0 {
+		interval := cfg.RetentionInterval
+		if interval <= 0 {
+			interval = time.Minute
+		}
+		s.retWg.Add(1)
+		go s.retentionLoop(interval)
 	}
 	return s, nil
 }
@@ -207,6 +262,197 @@ func (s *Server) logf(format string, args ...any) {
 
 // Registry returns the registry holding the dyflow_server_* families.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// History returns the run-history store (tests and diagnostics).
+func (s *Server) History() *runstore.Store { return s.history }
+
+// cacheEntry is the result cache's value: just enough of a completed
+// run to answer an identical submission without keeping its *Run
+// resident. Existence implies the source run finished StateDone.
+type cacheEntry struct {
+	RunID     string
+	Converged bool
+	SimEnd    time.Duration
+	Artifacts map[string]string
+}
+
+func cacheEntryFor(r *Run) cacheEntry {
+	return cacheEntry{RunID: r.ID, Converged: r.Converged, SimEnd: r.SimEnd, Artifacts: r.Artifacts}
+}
+
+// maxTerminalRings bounds how many evicted terminal runs keep their SSE
+// event rings for replay; older rings drop and reconnecting clients get
+// a terminal event synthesized from the history store instead.
+const maxTerminalRings = 1024
+
+// maxRecentDone bounds the evicted-run result-dedup memory (run ID →
+// terminal lease ID).
+const maxRecentDone = 4096
+
+// unixNs renders a phase timestamp for the history index (zero time → 0).
+func unixNs(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// runMetaLocked builds the history store's indexed summary of r. Caller
+// holds the server mutex.
+func (s *Server) runMetaLocked(r *Run) runstore.Meta {
+	m := runstore.Meta{
+		ID:            r.ID,
+		Tenant:        r.Tenant,
+		Scenario:      r.Job.Scenario,
+		Key:           r.Job.Key(),
+		State:         string(r.State),
+		Terminal:      r.State.Terminal(),
+		Cached:        r.Cached,
+		Converged:     r.Converged,
+		SubmittedAtNs: unixNs(r.SubmittedAt),
+		QueuedAtNs:    unixNs(r.QueuedAt),
+		ClaimedAtNs:   unixNs(r.ClaimedAt),
+		StartedAtNs:   unixNs(r.StartedAt),
+		FinishedAtNs:  unixNs(r.FinishedAt),
+		SimEndNs:      int64(r.SimEnd),
+		Artifacts:     r.Artifacts,
+	}
+	for _, digest := range r.Artifacts {
+		m.ArtifactBytes += s.blobs.Size(digest)
+	}
+	return m
+}
+
+// historyAppendLocked records r's current state in the run-history
+// store, reporting success. Caller holds the server mutex (the store
+// has its own lock; s.mu → store is the only allowed order). A failed
+// append is logged and counted by the store — the run simply stays
+// resident until a later transition records it.
+func (s *Server) historyAppendLocked(r *Run) bool {
+	if s.history == nil {
+		return false
+	}
+	doc, err := json.Marshal(r.persisted())
+	if err == nil {
+		err = s.history.Append(s.runMetaLocked(r), doc)
+	}
+	if err != nil {
+		s.logf("server: history append %s: %v", r.ID, err)
+		return false
+	}
+	return true
+}
+
+// evictTerminalLocked drops a terminal run from the resident map once
+// its final record is in the history store — the bounded-heap half of
+// the run-store design: only queued/running runs stay resident. Caller
+// holds the server mutex.
+func (s *Server) evictTerminalLocked(r *Run) {
+	delete(s.runs, r.ID)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == r.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if r.doneLease != "" {
+		s.recentDone[r.ID] = r.doneLease
+		s.recentDoneQ = append(s.recentDoneQ, r.ID)
+		for len(s.recentDoneQ) > maxRecentDone {
+			delete(s.recentDone, s.recentDoneQ[0])
+			s.recentDoneQ = s.recentDoneQ[1:]
+		}
+	}
+	s.retainRingLocked(r.ID)
+}
+
+// retainRingLocked keeps an evicted run's SSE ring within the bounded
+// retention window, dropping the oldest ring past it.
+func (s *Server) retainRingLocked(id string) {
+	s.doneRings = append(s.doneRings, id)
+	for len(s.doneRings) > maxTerminalRings {
+		s.events.Drop(s.doneRings[0])
+		s.doneRings = s.doneRings[1:]
+	}
+}
+
+// historyPersistedLocked fetches an evicted run's full document from the
+// history store. Caller holds the server mutex.
+func (s *Server) historyPersistedLocked(id string) (persistedRun, bool) {
+	if s.history == nil {
+		return persistedRun{}, false
+	}
+	it, ok := s.history.Get(id)
+	if !ok {
+		return persistedRun{}, false
+	}
+	var p persistedRun
+	if err := json.Unmarshal(it.Doc, &p); err != nil {
+		s.logf("server: decode history doc %s: %v", id, err)
+		return persistedRun{}, false
+	}
+	return p, true
+}
+
+// retentionLoop sweeps the retention policy until shutdown.
+func (s *Server) retentionLoop(interval time.Duration) {
+	defer s.retWg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-t.C:
+			s.SweepRetention()
+		}
+	}
+}
+
+// SweepRetention applies the configured retention policy once: terminal
+// runs beyond the per-tenant age/byte budgets are tombstoned in the
+// history store, their cache entries and event rings released, and
+// artifact blobs no longer referenced by any live record swept from the
+// blob store. Returns the number of runs deleted.
+//
+// A blob uploaded by a worker between the keep-set read and its result
+// POST can be swept in the window; the result handler's missing-blob
+// check requeues that run, so the race costs a re-execution, never a
+// dangling "done" run.
+func (s *Server) SweepRetention() int {
+	if s.history == nil {
+		return 0
+	}
+	victims := s.history.SweepRetention(runstore.Retention{
+		MaxAge:   s.cfg.RetentionMaxAge,
+		MaxBytes: s.cfg.RetentionMaxBytes,
+	}, time.Now())
+	if len(victims) == 0 {
+		return 0
+	}
+	keep := map[string]bool{}
+	s.mu.Lock()
+	for _, m := range victims {
+		if ce, ok := s.cache[m.Key]; ok && ce.RunID == m.ID {
+			delete(s.cache, m.Key)
+		}
+		delete(s.recentDone, m.ID)
+		s.events.Drop(m.ID)
+	}
+	for _, r := range s.runs {
+		for _, digest := range r.Artifacts {
+			keep[digest] = true
+		}
+	}
+	s.mu.Unlock()
+	for digest := range s.history.Digests() {
+		keep[digest] = true
+	}
+	if removed := s.blobs.GC(keep); removed > 0 {
+		s.met.gcBlobs.Add(int64(removed))
+	}
+	return len(victims)
+}
 
 // worker drains its queue shard (stealing when empty) until the queue
 // closes.
@@ -248,6 +494,7 @@ func (s *Server) execute(id string) {
 	r.StartedAt = now
 	s.events.Append(id, events.Event{Type: events.TypeClaimed, Worker: "local"})
 	s.events.Append(id, events.Event{Type: events.TypeRunning, Worker: "local"})
+	s.historyAppendLocked(r)
 	hook := s.beforeRun
 	s.mu.Unlock()
 
@@ -295,7 +542,7 @@ func (s *Server) execute(id string) {
 		r.SimEnd = out.SimEnd
 		r.Artifacts = refs
 		if _, have := s.cache[r.Job.Key()]; !have {
-			s.cache[r.Job.Key()] = r
+			s.cache[r.Job.Key()] = cacheEntryFor(r)
 		}
 		s.met.runSeconds.Observe(time.Since(start).Seconds())
 		s.finishLocked(r, StateDone, nil)
@@ -343,6 +590,12 @@ func (s *Server) finishLocked(r *Run, state RunState, err error) {
 		ev.SimSeconds = r.SimEnd.Seconds()
 	}
 	s.events.Append(r.ID, ev)
+	// Record the terminal state in the history store and release the
+	// resident entry — the run stays fully queryable (status, artifacts,
+	// analytics, result dedup) through the store's indexes.
+	if s.historyAppendLocked(r) {
+		s.evictTerminalLocked(r)
+	}
 }
 
 // terminalEventType maps a terminal run state to its event type.
@@ -372,6 +625,7 @@ func (s *Server) resetToQueuedLocked(r *Run, reason string) {
 	r.LeaseID = ""
 	r.simNow.Store(0)
 	s.events.Append(r.ID, events.Event{Type: events.TypeQueued, Reason: reason})
+	s.historyAppendLocked(r)
 }
 
 // progressEvent publishes a throttled TypeProgress event for a running
@@ -394,8 +648,8 @@ func (s *Server) progressEvent(r *Run, worker string, simNs int64) {
 // when an identical job finished after this run was admitted. Reports
 // whether it did. Caller holds the server mutex.
 func (s *Server) finishFromCacheLocked(r *Run) bool {
-	src := s.cache[r.Job.Key()]
-	if src == nil || src.State != StateDone || src == r {
+	src, ok := s.cache[r.Job.Key()]
+	if !ok || src.RunID == r.ID {
 		return false
 	}
 	r.Cached = true
@@ -404,7 +658,7 @@ func (s *Server) finishFromCacheLocked(r *Run) bool {
 	r.simNow.Store(int64(src.SimEnd))
 	r.Artifacts = src.Artifacts
 	s.met.cacheHits.With(r.Tenant).Inc()
-	s.events.Append(r.ID, events.Event{Type: events.TypeCacheHit, Reason: src.ID})
+	s.events.Append(r.ID, events.Event{Type: events.TypeCacheHit, Reason: src.RunID})
 	s.finishLocked(r, StateDone, nil)
 	return true
 }
@@ -494,7 +748,7 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 
 	// Cache fast path: an identical job already completed — answer from
 	// its artifacts without touching the queue or the quota.
-	if src := s.cache[job.Key()]; src != nil && src.State == StateDone {
+	if src, hit := s.cache[job.Key()]; hit {
 		r := s.newRunLocked(tenant, job)
 		r.State = StateDone
 		r.QueuedAt = time.Time{} // answered from cache; never queued
@@ -510,10 +764,14 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 		if err := s.journal(kindSubmit, r.persisted()); err != nil {
 			return Status{}, s.dropRunLocked(r, err)
 		}
-		s.events.Append(r.ID, events.Event{Type: events.TypeCacheHit, Reason: src.ID})
+		s.events.Append(r.ID, events.Event{Type: events.TypeCacheHit, Reason: src.RunID})
 		s.events.Append(r.ID, events.Event{Type: events.TypeDone, Cached: true,
 			Converged: r.Converged, SimSeconds: r.SimEnd.Seconds()})
-		return r.status(), nil
+		st := r.status()
+		if s.historyAppendLocked(r) {
+			s.evictTerminalLocked(r)
+		}
+		return st, nil
 	}
 
 	if s.cfg.TenantQuota > 0 && s.inflight[tenant] >= s.cfg.TenantQuota {
@@ -545,6 +803,7 @@ func (s *Server) Submit(tenant string, job exp.Job) (Status, error) {
 	s.inflight[tenant]++
 	s.met.submissions.With(tenant).Inc()
 	s.events.Append(r.ID, events.Event{Type: events.TypeQueued})
+	s.historyAppendLocked(r)
 	return r.status(), nil
 }
 
@@ -586,6 +845,10 @@ func (s *Server) Cancel(id string) (Status, error) {
 	defer s.mu.Unlock()
 	r, ok := s.runs[id]
 	if !ok {
+		// Evicted terminal runs cancel as the no-op they always were.
+		if p, ok := s.historyPersistedLocked(id); ok {
+			return s.applyPersisted(p).status(), nil
+		}
 		return Status{}, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
 	}
 	if r.State.Terminal() {
@@ -598,40 +861,118 @@ func (s *Server) Cancel(id string) (Status, error) {
 	return r.status(), nil
 }
 
-// RunStatus returns one run's status.
+// RunStatus returns one run's status — resident runs live, evicted
+// terminal runs from their history store document.
 func (s *Server) RunStatus(id string) (Status, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.runs[id]
-	if !ok {
-		return Status{}, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
+	if r, ok := s.runs[id]; ok {
+		return r.status(), nil
 	}
-	return r.status(), nil
+	if p, ok := s.historyPersistedLocked(id); ok {
+		return s.applyPersisted(p).status(), nil
+	}
+	return Status{}, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
 }
 
-// Runs lists every run in submission order.
-func (s *Server) Runs() []Status {
+// RunQuery filters GET /v1/runs; zero fields match everything.
+type RunQuery struct {
+	Tenant   string
+	Scenario string
+	State    string
+	// Since/Until bound SubmittedAt (inclusive; zero = unbounded).
+	Since time.Time
+	Until time.Time
+	// Limit caps the page size (<= 0: unlimited, internal callers).
+	Limit int
+	// PageToken resumes after a previous page's NextPageToken.
+	PageToken string
+}
+
+// RunPage is one page of runs plus the cursor for the next.
+type RunPage struct {
+	Runs          []Status `json:"runs"`
+	NextPageToken string   `json:"next_page_token,omitempty"`
+}
+
+// QueryRuns serves the filtered, paginated run listing from the history
+// store's indexes. Every admitted run has a history record (appended at
+// submission), so the store is the authoritative listing; resident runs
+// render their live status instead of the recorded document.
+func (s *Server) QueryRuns(q RunQuery) (RunPage, error) {
+	page, err := s.history.Query(runstore.Query{
+		Tenant: q.Tenant, Scenario: q.Scenario, State: q.State,
+		Since: q.Since, Until: q.Until,
+		Limit: q.Limit, PageToken: q.PageToken,
+	})
+	if err != nil {
+		return RunPage{}, &APIError{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Status, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.runs[id].status())
+	out := RunPage{Runs: make([]Status, 0, len(page.Items)), NextPageToken: page.NextPageToken}
+	for _, it := range page.Items {
+		if r := s.runs[it.Meta.ID]; r != nil {
+			out.Runs = append(out.Runs, r.status())
+			continue
+		}
+		var p persistedRun
+		if err := json.Unmarshal(it.Doc, &p); err != nil {
+			s.logf("server: decode history doc %s: %v", it.Meta.ID, err)
+			continue
+		}
+		out.Runs = append(out.Runs, s.applyPersisted(p).status())
 	}
+	return out, nil
+}
+
+// Runs lists every run in submission order (internal and test callers;
+// the HTTP listing paginates through QueryRuns).
+func (s *Server) Runs() []Status {
+	page, err := s.QueryRuns(RunQuery{})
+	if err != nil {
+		return nil
+	}
+	out := page.Runs
+	// Robustness: a resident run whose history append failed still lists.
+	seen := make(map[string]bool, len(out))
+	for _, st := range out {
+		seen[st.ID] = true
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		if !seen[id] {
+			out = append(out, s.runs[id].status())
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].SubmittedAt.Equal(out[j].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[j].SubmittedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 
-// Artifact returns one artifact of a finished run.
+// Artifact returns one artifact of a finished run, resident or evicted.
 func (s *Server) Artifact(id, name string) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.runs[id]
-	if !ok {
+	var state RunState
+	var refs map[string]string
+	if r, ok := s.runs[id]; ok {
+		state, refs = r.State, r.Artifacts
+	} else if p, ok := s.historyPersistedLocked(id); ok {
+		state, refs = p.State, p.ArtifactRefs
+	} else {
+		s.mu.Unlock()
 		return nil, &APIError{Code: http.StatusNotFound, Msg: "no such run"}
 	}
-	if r.State != StateDone {
-		return nil, &APIError{Code: http.StatusConflict, Msg: fmt.Sprintf("run is %s, artifacts exist once it is done", r.State)}
+	s.mu.Unlock()
+	if state != StateDone {
+		return nil, &APIError{Code: http.StatusConflict, Msg: fmt.Sprintf("run is %s, artifacts exist once it is done", state)}
 	}
-	digest, ok := r.Artifacts[name]
+	digest, ok := refs[name]
 	if !ok {
 		return nil, &APIError{Code: http.StatusNotFound, Msg: "no such artifact"}
 	}
@@ -676,10 +1017,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.queue.close()
 	s.workers.Wait()
 	s.fleet.Close()
+	s.retWg.Wait()
 	s.drainJournal()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Runs still leased to fleet workers go back to queued in the
 	// snapshot: the next process re-executes them exactly, and any late
 	// result upload from the old worker is rejected as stale.
@@ -689,7 +1030,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.resetToQueuedLocked(r, "shutdown")
 		}
 	}
-	if err := s.snapshotLocked(); err != nil {
+	err := s.snapshotLocked("shutdown")
+	s.mu.Unlock()
+	if s.history != nil {
+		s.history.Close()
+	}
+	if err != nil {
 		return err
 	}
 	return httpErr
@@ -705,7 +1051,11 @@ func (s *Server) Close() {
 	s.queue.close()
 	s.workers.Wait()
 	s.fleet.Close()
+	s.retWg.Wait()
 	s.drainJournal()
+	if s.history != nil {
+		s.history.Close()
+	}
 }
 
 // APIError is an error with an HTTP status.
@@ -752,6 +1102,51 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
+// Listing pagination bounds: the response is never the whole table —
+// an omitted limit serves defaultListLimit runs and anything above
+// maxListLimit is clamped to it (both documented in docs/SERVICE.md).
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// parseRunQuery decodes GET /v1/runs' filter parameters: tenant,
+// scenario, state, since/until (RFC 3339), limit, page_token.
+func parseRunQuery(r *http.Request) (RunQuery, error) {
+	qs := r.URL.Query()
+	q := RunQuery{
+		Tenant:    qs.Get("tenant"),
+		Scenario:  qs.Get("scenario"),
+		State:     qs.Get("state"),
+		PageToken: qs.Get("page_token"),
+		Limit:     defaultListLimit,
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return RunQuery{}, &APIError{Code: http.StatusBadRequest, Msg: "limit must be a positive integer"}
+		}
+		q.Limit = n
+	}
+	if q.Limit > maxListLimit {
+		q.Limit = maxListLimit
+	}
+	for _, tp := range []struct {
+		name string
+		dst  *time.Time
+	}{{"since", &q.Since}, {"until", &q.Until}} {
+		if v := qs.Get(tp.name); v != "" {
+			t, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				return RunQuery{}, &APIError{Code: http.StatusBadRequest,
+					Msg: fmt.Sprintf("%s must be RFC 3339 (e.g. 2026-01-02T15:04:05Z): %v", tp.name, err)}
+			}
+			*tp.dst = t
+		}
+	}
+	return q, nil
+}
+
 // SubmitRequest is the POST /v1/runs body: a tenant plus the job fields.
 type SubmitRequest struct {
 	Tenant string `json:"tenant"`
@@ -761,12 +1156,15 @@ type SubmitRequest struct {
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/runs                      submit  {tenant, scenario, machine, seed, xml}
-//	GET  /v1/runs                      list all runs
+//	GET  /v1/runs                      list runs; filters tenant, scenario, state,
+//	                                   since, until (RFC 3339), limit, page_token
 //	GET  /v1/runs/{id}                 one run's status
 //	GET  /v1/runs/{id}/events          live event stream (SSE, Last-Event-ID resume)
 //	POST /v1/runs/{id}/cancel          cancel
 //	GET  /v1/runs/{id}/artifacts/{name}  report | gantt | perfetto | metrics
-//	GET  /v1/analytics                 cross-campaign aggregates over the run table
+//	GET  /v1/analytics                 cross-campaign aggregates over the full run
+//	                                   history; ?trend_bucket=1h&trend_buckets=24
+//	                                   adds time-bucketed submission trends
 //	GET  /metrics, /metrics.json       coordinator families + worker-labeled fleet families
 //	GET  /healthz                      liveness
 //
@@ -794,7 +1192,17 @@ func (s *Server) Handler() http.Handler {
 		s.writeJSON(w, http.StatusAccepted, st)
 	})
 	route("GET /v1/runs", "list", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, http.StatusOK, map[string]any{"runs": s.Runs()})
+		q, err := parseRunQuery(r)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		page, err := s.QueryRuns(q)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, page)
 	})
 	route("GET /v1/runs/{id}", "status", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.RunStatus(r.PathValue("id"))
@@ -828,7 +1236,28 @@ func (s *Server) Handler() http.Handler {
 	})
 	route("GET /v1/runs/{id}/events", "events", s.handleRunEvents)
 	route("GET /v1/analytics", "analytics", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, http.StatusOK, s.Analytics())
+		var bucket time.Duration
+		buckets := 0
+		if v := r.URL.Query().Get("trend_bucket"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				httpError(w, &APIError{Code: http.StatusBadRequest, Msg: "bad trend_bucket (want a positive Go duration, e.g. 1h)"})
+				return
+			}
+			bucket = d
+		}
+		if v := r.URL.Query().Get("trend_buckets"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				httpError(w, &APIError{Code: http.StatusBadRequest, Msg: "bad trend_buckets (want a positive integer)"})
+				return
+			}
+			buckets = n
+			if bucket == 0 {
+				bucket = time.Hour
+			}
+		}
+		s.writeJSON(w, http.StatusOK, s.AnalyticsWithTrends(bucket, buckets))
 	})
 	route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dyflow/internal/server/events"
 	"dyflow/internal/trace"
@@ -39,6 +40,7 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	after := s.parseEventCursor(cursor)
 
+	s.ensureTerminalEvent(id)
 	sub := s.events.Subscribe(id, after)
 	defer sub.Close()
 
@@ -110,12 +112,49 @@ func (s *Server) parseEventCursor(v string) uint64 {
 	return seq
 }
 
-// runTerminal reports whether a run exists and is in a terminal state.
+// runTerminal reports whether a run exists and is in a terminal state —
+// resident, or already evicted to the history store.
 func (s *Server) runTerminal(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r := s.runs[id]
-	return r != nil && r.State.Terminal()
+	if r := s.runs[id]; r != nil {
+		return r.State.Terminal()
+	}
+	m, ok := s.history.GetMeta(id)
+	return ok && m.Terminal
+}
+
+// ensureTerminalEvent backfills the terminal event for a run that
+// finished before this coordinator process started (restored straight
+// into the history store, so no ring exists). A subscriber arriving
+// across the restart still receives the terminal frame — synthesized
+// from the history record with Reason "restore" — instead of waiting
+// forever. Runs with a live ring (resident, or evicted this process
+// with the ring retained) are untouched.
+func (s *Server) ensureTerminalEvent(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runs[id] != nil || s.events.Len(id) > 0 {
+		return
+	}
+	m, ok := s.history.GetMeta(id)
+	if !ok || !m.Terminal {
+		return
+	}
+	ev := events.Event{
+		Type:      terminalEventType(RunState(m.State)),
+		Reason:    "restore",
+		At:        time.Unix(0, m.FinishedAtNs),
+		Cached:    m.Cached,
+		Converged: m.Converged,
+	}
+	if m.State == string(StateDone) {
+		ev.SimSeconds = time.Duration(m.SimEndNs).Seconds()
+	} else if p, ok := s.historyPersistedLocked(id); ok {
+		ev.Error = p.Err
+	}
+	s.events.Append(id, ev)
+	s.retainRingLocked(id)
 }
 
 // appendWorkerSpans publishes flight-recorder spans a fleet worker

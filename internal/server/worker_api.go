@@ -137,6 +137,7 @@ func (s *Server) leaseRun(workerID, id string) (fleet.ClaimResponse, bool) {
 	r.LeaseID = leaseID
 	s.events.Append(id, events.Event{Type: events.TypeClaimed, Worker: workerID})
 	s.events.Append(id, events.Event{Type: events.TypeRunning, Worker: workerID})
+	s.historyAppendLocked(r)
 	return fleet.ClaimResponse{
 		RunID:      id,
 		Job:        r.Job,
@@ -244,7 +245,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		run.simNow.Store(req.SimEndNs)
 		run.Artifacts = req.Artifacts
 		if _, have := s.cache[run.Job.Key()]; !have {
-			s.cache[run.Job.Key()] = run
+			s.cache[run.Job.Key()] = cacheEntryFor(run)
 		}
 		if !run.StartedAt.IsZero() {
 			s.met.runSeconds.Observe(time.Since(run.StartedAt).Seconds())
@@ -266,7 +267,12 @@ func (s *Server) isDuplicateResult(req *fleet.ResultRequest) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	run := s.runs[req.RunID]
-	return run != nil && run.State.Terminal() && run.doneLease == req.LeaseID
+	if run != nil {
+		return run.State.Terminal() && run.doneLease == req.LeaseID
+	}
+	// Terminal runs are evicted to the history store; recentDone keeps the
+	// (run, completing lease) pairs so a late retransmission still dedupes.
+	return s.recentDone[req.RunID] == req.LeaseID
 }
 
 func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
